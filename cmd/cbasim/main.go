@@ -1,0 +1,138 @@
+// Command cbasim runs a single simulation configuration and prints its
+// statistics: execution time, bus shares and traffic mix. It is the
+// low-level companion to cmd/experiments.
+//
+// Usage:
+//
+//	cbasim -workload matrix -policy RP -credit cba -scenario con -runs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"creditbus"
+	"creditbus/internal/mem"
+	"creditbus/internal/report"
+	"creditbus/internal/sim"
+	"creditbus/internal/stats"
+)
+
+var policies = map[string]sim.PolicyKind{
+	"RR":   creditbus.PolicyRoundRobin,
+	"FIFO": creditbus.PolicyFIFO,
+	"TDMA": creditbus.PolicyTDMA,
+	"LOT":  creditbus.PolicyLottery,
+	"RP":   creditbus.PolicyRandomPerm,
+	"PRI":  creditbus.PolicyPriority,
+}
+
+var credits = map[string]sim.CreditKind{
+	"off":          creditbus.CreditOff,
+	"cba":          creditbus.CreditCBA,
+	"hcba-weights": creditbus.CreditHCBAWeights,
+	"hcba-cap":     creditbus.CreditHCBACap,
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "matrix", "benchmark to run (see -list)")
+		list         = flag.Bool("list", false, "list available workloads and exit")
+		policy       = flag.String("policy", "RP", "arbitration policy: RR, FIFO, TDMA, LOT, RP, PRI")
+		credit       = flag.String("credit", "off", "CBA variant: off, cba, hcba-weights, hcba-cap")
+		scenario     = flag.String("scenario", "iso", "iso (isolation) or con (maximum contention)")
+		runs         = flag.Int("runs", 10, "randomised runs")
+		seed         = flag.Uint64("seed", 20170327, "base seed")
+		cores        = flag.Int("cores", 4, "number of cores")
+	)
+	flag.Parse()
+
+	if *list {
+		tbl := report.NewTable("Available workloads", "name", "description")
+		for _, n := range creditbus.Workloads() {
+			d, _ := creditbus.WorkloadDescription(n)
+			tbl.AddRow(n, d)
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := creditbus.DefaultConfig()
+	cfg.Cores = *cores
+	pk, ok := policies[*policy]
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	cfg.Policy = pk
+	ck, ok := credits[*credit]
+	if !ok {
+		fatal(fmt.Errorf("unknown credit variant %q", *credit))
+	}
+	cfg.Credit.Kind = ck
+
+	prog, err := creditbus.BuildWorkload(*workloadName, 1)
+	if err != nil {
+		fatal(err)
+	}
+
+	var acc stats.Accumulator
+	var last creditbus.Result
+	for r := 0; r < *runs; r++ {
+		if rs, ok := prog.(interface{ Reset() }); ok {
+			rs.Reset()
+		}
+		runSeed := *seed + uint64(r)*0x9e3779b97f4a7c15
+		var res creditbus.Result
+		switch *scenario {
+		case "iso":
+			res, err = creditbus.RunIsolation(cfg, prog, runSeed)
+		case "con":
+			res, err = creditbus.RunMaxContention(cfg, prog, runSeed)
+		default:
+			err = fmt.Errorf("unknown scenario %q", *scenario)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		acc.Add(float64(res.TaskCycles))
+		last = res
+	}
+
+	fmt.Printf("workload=%s policy=%s credit=%s scenario=%s runs=%d\n",
+		*workloadName, *policy, *credit, *scenario, *runs)
+	fmt.Printf("execution time: mean=%.0f ±%.0f (95%% CI)  min=%.0f max=%.0f cycles\n",
+		acc.Mean(), acc.CI95HalfWidth(), acc.Min(), acc.Max())
+	fmt.Printf("last run: util=%.3f l1=%.3f l2=%.3f bus-requests=%d max-wait=%d\n",
+		last.Utilisation, last.L1HitRate, last.L2HitRate, last.Bus.Requests, last.Bus.MaxWait)
+	tbl := report.NewTable("Bus traffic by kind (last run)", "kind", "count")
+	for _, k := range memKinds(last) {
+		tbl.AddRowf(k.String(), last.MemCounts[k])
+	}
+	if err := tbl.Fprint(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// memKinds returns the kinds present in the result, in enum order.
+func memKinds(r creditbus.Result) []mem.Kind {
+	out := make([]mem.Kind, 0, len(r.MemCounts))
+	for k := range r.MemCounts {
+		out = append(out, k)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbasim:", err)
+	os.Exit(1)
+}

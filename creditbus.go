@@ -1,0 +1,190 @@
+// Package creditbus is a cycle-accurate reproduction of "Design and
+// Implementation of a Fair Credit-Based Bandwidth Sharing Scheme for Buses"
+// (Slijepcevic, Hernandez, Abella, Cazorla — DATE 2017).
+//
+// It provides:
+//
+//   - Credit-Based Arbitration (CBA): a filter in front of any slot-fair bus
+//     arbitration policy that makes bandwidth sharing fair in cycles of bus
+//     occupancy instead of granted slots, including both heterogeneous
+//     variants of §III.A;
+//   - the paper's full evaluation platform as a simulator: in-order cores,
+//     randomised (MBPTA-friendly) L1/L2 caches, a non-split shared bus with
+//     round-robin/FIFO/TDMA/lottery/random-permutations arbitration, and a
+//     fixed-latency memory controller;
+//   - EEMBC-Autobench-like workloads, the paper's WCET-estimation mode
+//     (Table I) and an MBPTA/EVT pipeline for pWCET estimation.
+//
+// The quickest start:
+//
+//	cfg := creditbus.DefaultConfig()
+//	cfg.Credit.Kind = creditbus.CreditCBA
+//	prog, _ := creditbus.BuildWorkload("matrix", 1)
+//	res, _ := creditbus.RunMaxContention(cfg, prog, 42)
+//	fmt.Println(res.TaskCycles)
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology and measured results.
+package creditbus
+
+import (
+	"fmt"
+
+	"creditbus/internal/core"
+	"creditbus/internal/cpu"
+	"creditbus/internal/mbpta"
+	"creditbus/internal/sim"
+	"creditbus/internal/workload"
+)
+
+// Config describes the simulated platform: core count, cache geometry,
+// transaction latencies, arbitration policy, CBA variant and analysis mode.
+type Config = sim.Config
+
+// CreditSpec selects and parameterises the CBA variant.
+type CreditSpec = sim.CreditSpec
+
+// Result carries the observables of one run.
+type Result = sim.Result
+
+// Program is a workload running on a simulated core.
+type Program = cpu.Program
+
+// Op is one program operation (ALU work, load, store or atomic).
+type Op = cpu.Op
+
+// The operation kinds of Program traces.
+const (
+	OpALU    = cpu.OpALU
+	OpLoad   = cpu.OpLoad
+	OpStore  = cpu.OpStore
+	OpAtomic = cpu.OpAtomic
+)
+
+// NewTrace builds a replayable Program from explicit operations, for
+// user-defined workloads.
+func NewTrace(ops []Op) Program { return cpu.NewTrace(ops) }
+
+// Arbitration policies for Config.Policy.
+const (
+	PolicyRoundRobin = sim.PolicyRoundRobin
+	PolicyFIFO       = sim.PolicyFIFO
+	PolicyTDMA       = sim.PolicyTDMA
+	PolicyLottery    = sim.PolicyLottery
+	PolicyRandomPerm = sim.PolicyRandomPerm
+	PolicyPriority   = sim.PolicyPriority
+)
+
+// CBA variants for Config.Credit.Kind.
+const (
+	// CreditOff disables credit-based arbitration.
+	CreditOff = sim.CreditOff
+	// CreditCBA is homogeneous CBA (every core refills 1/N per cycle).
+	CreditCBA = sim.CreditCBA
+	// CreditHCBAWeights is H-CBA via heterogeneous refill weights
+	// (§III.A variant 2; the paper's 1/2-vs-1/6 evaluation setting).
+	CreditHCBAWeights = sim.CreditHCBAWeights
+	// CreditHCBACap is H-CBA via a raised budget cap (§III.A variant 1).
+	CreditHCBACap = sim.CreditHCBACap
+)
+
+// DefaultConfig returns the paper's platform: a 4-core LEON3-like multicore
+// with 4 KiB L1 data caches, 32 KiB L2 partitions, 5/28-cycle transaction
+// latencies (MaxL = 56) and random-permutations arbitration.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// RunIsolation executes prog alone on the platform (the paper's ISO
+// scenario) and returns its execution time and diagnostics.
+func RunIsolation(cfg Config, prog Program, seed uint64) (Result, error) {
+	return sim.RunIsolation(cfg, prog, seed)
+}
+
+// RunMaxContention executes prog against the paper's Table I contention
+// injectors (WCET-estimation mode): every other core constantly requests
+// maximum-length transactions, gated by the COMP latches when CBA is on.
+func RunMaxContention(cfg Config, prog Program, seed uint64) (Result, error) {
+	return sim.RunMaxContention(cfg, prog, seed)
+}
+
+// RunWorkloads executes one program per core (operation-mode contention)
+// and reports the result of the task on cfg.TuA.
+func RunWorkloads(cfg Config, programs []Program, seed uint64) (Result, error) {
+	return sim.RunWorkloads(cfg, programs, seed)
+}
+
+// Loop wraps a program so it restarts forever — for co-runner tasks that
+// must generate contention for a whole run.
+func Loop(p Program) Program { return sim.NewLooped(p) }
+
+// Workloads lists the bundled benchmark generators (EEMBC-Autobench-like
+// kernels plus synthetic stressors).
+func Workloads() []string { return workload.Names() }
+
+// WorkloadDescription returns the documentation line of a bundled workload.
+func WorkloadDescription(name string) (string, error) {
+	s, ok := workload.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("creditbus: unknown workload %q", name)
+	}
+	return s.Description, nil
+}
+
+// BuildWorkload instantiates a bundled workload. The seed fixes the
+// program's own randomness (its "binary"); run-to-run variability comes
+// from the run seed passed to the Run functions.
+func BuildWorkload(name string, seed uint64) (Program, error) {
+	s, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("creditbus: unknown workload %q (have %v)", name, workload.Names())
+	}
+	return s.Build(seed), nil
+}
+
+// PWCET is a fitted MBPTA analysis: Gumbel tail model, i.i.d. diagnostics
+// and pWCET quantiles.
+type PWCET = mbpta.Analysis
+
+// AnalyzeWCET fits the MBPTA pipeline (block maxima + Gumbel) to a set of
+// execution-time measurements. Block 20 is customary for ~1000-run
+// campaigns; use Runs/20 for smaller ones.
+func AnalyzeWCET(samples []float64, block int) (PWCET, error) {
+	return mbpta.Analyze(samples, block)
+}
+
+// CollectMaxContention runs a workload under maximum contention `runs`
+// times with derived per-run seeds and returns the execution times — the
+// measurement protocol of §III.B.
+func CollectMaxContention(cfg Config, prog Program, runs int, seed uint64) ([]float64, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("creditbus: runs = %d", runs)
+	}
+	out := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		if rs, ok := prog.(interface{ Reset() }); ok {
+			rs.Reset()
+		}
+		res, err := sim.RunMaxContention(cfg, prog, seed+uint64(r)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(res.TaskCycles))
+	}
+	return out, nil
+}
+
+// CreditArbiter exposes the raw CBA filter for users embedding it in their
+// own interconnect models: budgets, eligibility, analytic share and
+// starvation bounds.
+type CreditArbiter = core.Arbiter
+
+// CreditConfig configures a raw CreditArbiter.
+type CreditConfig = core.Config
+
+// NewCreditArbiter builds a raw CBA filter. HomogeneousCredit,
+// core-weighted and cap-raised configurations are available through
+// CreditConfig (see the core package documentation mirrored on the type).
+func NewCreditArbiter(cfg CreditConfig) (*CreditArbiter, error) { return core.New(cfg) }
+
+// HomogeneousCredit returns the paper's base CBA configuration for n
+// masters and a maximum hold time.
+func HomogeneousCredit(n int, maxHold int64) CreditConfig { return core.Homogeneous(n, maxHold) }

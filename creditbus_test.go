@@ -1,0 +1,123 @@
+package creditbus_test
+
+import (
+	"testing"
+
+	"creditbus"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := creditbus.DefaultConfig()
+	prog, err := creditbus.BuildWorkload("canrdr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := creditbus.RunIsolation(cfg, prog, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso.TaskCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+
+	cfg.Credit.Kind = creditbus.CreditCBA
+	prog2, _ := creditbus.BuildWorkload("canrdr", 1)
+	con, err := creditbus.RunMaxContention(cfg, prog2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.TaskCycles <= iso.TaskCycles {
+		t.Fatalf("contention %d not slower than isolation %d", con.TaskCycles, iso.TaskCycles)
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	names := creditbus.Workloads()
+	if len(names) < 10 {
+		t.Fatalf("only %d workloads", len(names))
+	}
+	for _, n := range names {
+		d, err := creditbus.WorkloadDescription(n)
+		if err != nil || d == "" {
+			t.Errorf("workload %s: %v %q", n, err, d)
+		}
+	}
+	if _, err := creditbus.BuildWorkload("nope", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := creditbus.WorkloadDescription("nope"); err == nil {
+		t.Error("unknown workload description accepted")
+	}
+}
+
+func TestFacadeCustomTrace(t *testing.T) {
+	ops := []creditbus.Op{
+		{Kind: creditbus.OpALU, Cycles: 10},
+		{Kind: creditbus.OpLoad, Addr: 0x1000},
+		{Kind: creditbus.OpStore, Addr: 0x2000},
+		{Kind: creditbus.OpAtomic, Addr: 0x3000},
+	}
+	prog := creditbus.NewTrace(ops)
+	res, err := creditbus.RunIsolation(creditbus.DefaultConfig(), prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != 4 {
+		t.Fatalf("instructions = %d, want 4", res.CPU.Instructions)
+	}
+}
+
+func TestFacadeMBPTAPipeline(t *testing.T) {
+	cfg := creditbus.DefaultConfig()
+	cfg.Credit.Kind = creditbus.CreditCBA
+	prog, _ := creditbus.BuildWorkload("rspeed", 1)
+	samples, err := creditbus.CollectMaxContention(cfg, prog, 60, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 60 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	an, err := creditbus.AnalyzeWCET(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.PWCET(1e-9) <= an.PWCET(1e-3) {
+		t.Error("pWCET not monotone in rarity")
+	}
+	if _, err := creditbus.CollectMaxContention(cfg, prog, 0, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestFacadeCreditArbiter(t *testing.T) {
+	arb, err := creditbus.NewCreditArbiter(creditbus.HomogeneousCredit(4, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arb.Share(0) != 0.25 {
+		t.Fatalf("share = %v", arb.Share(0))
+	}
+	if !arb.Eligible(2) {
+		t.Fatal("full budget not eligible")
+	}
+	arb.Tick(2)
+	if arb.Eligible(2) {
+		t.Fatal("core that used the bus still eligible")
+	}
+}
+
+func TestFacadeWorkloadsScenario(t *testing.T) {
+	cfg := creditbus.DefaultConfig()
+	cfg.Credit.Kind = creditbus.CreditCBA
+	tua, _ := creditbus.BuildWorkload("rspeed", 1)
+	stream, _ := creditbus.BuildWorkload("stream", 2)
+	progs := []creditbus.Program{tua, creditbus.Loop(stream), nil, nil}
+	res, err := creditbus.RunWorkloads(cfg, progs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}

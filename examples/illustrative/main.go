@@ -1,0 +1,71 @@
+// Illustrative example (§II of the paper): a task issuing frequent short
+// bus requests (L2 hits) shares the bus with three streaming tasks whose
+// requests each hold the bus for 28 cycles. Slot-fair round-robin gives the
+// short-request task ~10% of the bandwidth and a ~9x slowdown; CBA caps
+// every streamer at 1/N and brings the slowdown back towards the core
+// count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"creditbus"
+)
+
+func main() {
+	const seed = 7
+
+	task := func() creditbus.Program {
+		p, err := creditbus.BuildWorkload("hitter", 1) // dense 5-cycle L2 hits
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	streamers := func() []creditbus.Program {
+		out := make([]creditbus.Program, 3)
+		for i := range out {
+			s, err := creditbus.BuildWorkload("stream", uint64(i+2))
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[i] = creditbus.Loop(s) // co-runners stream for the whole run
+		}
+		return out
+	}
+
+	cfg := creditbus.DefaultConfig()
+	cfg.Policy = creditbus.PolicyRoundRobin
+
+	iso, err := creditbus.RunIsolation(cfg, task(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runCon := func(cfg creditbus.Config) creditbus.Result {
+		progs := append([]creditbus.Program{task()}, streamers()...)
+		res, err := creditbus.RunWorkloads(cfg, progs, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	rr := runCon(cfg)
+
+	cba := cfg
+	cba.Credit.Kind = creditbus.CreditCBA
+	cbaRes := runCon(cba)
+
+	slow := func(r creditbus.Result) float64 { return float64(r.TaskCycles) / float64(iso.TaskCycles) }
+	fmt.Println("§II illustrative scenario: short-request task vs 3 streaming co-runners")
+	fmt.Printf("  isolation:            %8d cycles\n", iso.TaskCycles)
+	fmt.Printf("  round-robin (slots):  %8d cycles  %.2fx   <- slot fairness, paper's arithmetic: 9.4x\n",
+		rr.TaskCycles, slow(rr))
+	fmt.Printf("  round-robin + CBA:    %8d cycles  %.2fx   <- cycle fairness (paper fluid limit: 2.8x)\n",
+		cbaRes.TaskCycles, slow(cbaRes))
+	fmt.Println()
+	fmt.Println("With CBA each streamer is capped at 25% of bus cycles; without it the three")
+	fmt.Println("streamers hold ~90% of the bus despite receiving the same number of slots.")
+}

@@ -1,0 +1,43 @@
+// Package arbiter implements the slot-fair bus arbitration policies the
+// paper compares against and composes with credit-based arbitration:
+// round-robin, FIFO, TDMA, lottery (LOTTERYBUS, Lahiri et al. DAC 2001),
+// random permutations (Jalle et al. DATE 2014) and — for the starvation
+// discussion in §II — fixed priority.
+//
+// A Policy never sees raw bus state. The bus (or the CBA filter in front of
+// it) computes the set of masters that are pending and eligible this cycle
+// and asks the policy to pick one. All policies are deterministic given their
+// rng seed, which is what makes whole-simulation runs reproducible.
+package arbiter
+
+// Policy is a bus arbitration policy.
+//
+// The bus calls OnRequest when a master's request first becomes arbitrable,
+// Pick on every cycle in which the bus is free and at least one master may
+// compete, and OnGrant when a pick is accepted. Implementations must not
+// retain the eligible slice.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "RR", "RP").
+	Name() string
+	// OnRequest records that master m's request became arbitrable at cycle.
+	OnRequest(m int, cycle int64)
+	// Pick chooses one master among those with eligible[m] == true, or
+	// reports ok=false to leave the bus idle this cycle (TDMA does this
+	// outside slot boundaries). Pick must not pick an ineligible master.
+	Pick(eligible []bool, cycle int64) (m int, ok bool)
+	// OnGrant records that master m was granted at cycle.
+	OnGrant(m int, cycle int64)
+	// Reset returns the policy to its initial state (rng state included).
+	Reset()
+}
+
+// countEligible returns the number of set entries.
+func countEligible(eligible []bool) int {
+	n := 0
+	for _, e := range eligible {
+		if e {
+			n++
+		}
+	}
+	return n
+}

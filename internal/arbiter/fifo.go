@@ -1,0 +1,66 @@
+package arbiter
+
+// FIFO grants requests in arrival order. Ties (requests becoming arbitrable
+// on the same cycle) are broken by master index, which models the fixed
+// position of masters on the request wires.
+type FIFO struct {
+	n       int
+	arrival []int64 // arrival cycle per master; -1 when no request recorded
+}
+
+// NewFIFO builds a FIFO policy over n masters.
+func NewFIFO(n int) *FIFO {
+	if n <= 0 {
+		panic("arbiter: FIFO needs n > 0")
+	}
+	f := &FIFO{n: n, arrival: make([]int64, n)}
+	f.Reset()
+	return f
+}
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// OnRequest records the arrival cycle of m's request.
+func (f *FIFO) OnRequest(m int, cycle int64) {
+	if m >= 0 && m < f.n {
+		f.arrival[m] = cycle
+	}
+}
+
+// Pick grants the eligible master with the oldest recorded arrival.
+func (f *FIFO) Pick(eligible []bool, _ int64) (int, bool) {
+	best, bestAt := -1, int64(0)
+	for m := 0; m < f.n && m < len(eligible); m++ {
+		if !eligible[m] {
+			continue
+		}
+		at := f.arrival[m]
+		if at < 0 {
+			// Eligible but no arrival recorded (e.g. policy attached
+			// mid-run); treat as arriving now so it still gets served.
+			at = 1<<62 - 1
+		}
+		if best == -1 || at < bestAt {
+			best, bestAt = m, at
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// OnGrant clears the granted master's arrival record.
+func (f *FIFO) OnGrant(m int, _ int64) {
+	if m >= 0 && m < f.n {
+		f.arrival[m] = -1
+	}
+}
+
+// Reset implements Policy.
+func (f *FIFO) Reset() {
+	for i := range f.arrival {
+		f.arrival[i] = -1
+	}
+}

@@ -1,0 +1,74 @@
+package arbiter
+
+import "creditbus/internal/rng"
+
+// Lottery implements LOTTERYBUS-style arbitration (Lahiri et al., DAC 2001):
+// every arbitration, each competing master enters with a configured number of
+// tickets and a uniformly drawn ticket selects the winner. With equal
+// tickets and constant contention it is slot-fair in expectation. The paper
+// lists it among the MBPTA-compatible randomised policies.
+type Lottery struct {
+	n       int
+	seed    uint64
+	tickets []int64
+	src     *rng.Stream
+	scratch []int64
+}
+
+// NewLottery builds a lottery policy over n masters. tickets gives the
+// per-master ticket counts; nil means one ticket each. The policy owns its
+// rng stream, seeded with seed, so runs are reproducible.
+func NewLottery(n int, tickets []int64, seed uint64) *Lottery {
+	if n <= 0 {
+		panic("arbiter: Lottery needs n > 0")
+	}
+	if tickets == nil {
+		tickets = make([]int64, n)
+		for i := range tickets {
+			tickets[i] = 1
+		}
+	}
+	if len(tickets) != n {
+		panic("arbiter: Lottery tickets length mismatch")
+	}
+	for _, t := range tickets {
+		if t <= 0 {
+			panic("arbiter: Lottery tickets must be positive")
+		}
+	}
+	l := &Lottery{
+		n:       n,
+		seed:    seed,
+		tickets: append([]int64(nil), tickets...),
+		scratch: make([]int64, n),
+	}
+	l.Reset()
+	return l
+}
+
+// Name implements Policy.
+func (l *Lottery) Name() string { return "LOT" }
+
+// OnRequest implements Policy.
+func (l *Lottery) OnRequest(int, int64) {}
+
+// Pick draws a ticket among eligible masters.
+func (l *Lottery) Pick(eligible []bool, _ int64) (int, bool) {
+	if countEligible(eligible) == 0 {
+		return 0, false
+	}
+	for m := 0; m < l.n; m++ {
+		if m < len(eligible) && eligible[m] {
+			l.scratch[m] = l.tickets[m]
+		} else {
+			l.scratch[m] = 0
+		}
+	}
+	return l.src.WeightedChoice(l.scratch), true
+}
+
+// OnGrant implements Policy.
+func (l *Lottery) OnGrant(int, int64) {}
+
+// Reset re-seeds the ticket draw stream.
+func (l *Lottery) Reset() { l.src = rng.New(l.seed) }

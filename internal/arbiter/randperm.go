@@ -1,0 +1,93 @@
+package arbiter
+
+import "creditbus/internal/rng"
+
+// RandomPermutation implements the random-permutations policy of Jalle et
+// al. (DATE 2014), the policy the paper integrates CBA with on the LEON3
+// prototype. Time is divided into rounds. At the start of each round the
+// arbiter draws a uniform random permutation of the masters; within the
+// round every master is granted at most once, and among the masters still
+// owed a grant the one earliest in the permutation wins. When no pending
+// master is owed a grant in the current round, a fresh round (and
+// permutation) starts immediately, keeping the policy work-conserving.
+//
+// Under full contention each master's position in a round is uniform, which
+// is what gives the policy its probabilistic timing guarantees: the number
+// of contenders served before a given master is uniform on {0..N-1}.
+type RandomPermutation struct {
+	n      int
+	seed   uint64
+	src    *rng.Stream
+	perm   []int
+	served []bool
+}
+
+// NewRandomPermutation builds the policy over n masters with its own rng
+// stream seeded by seed.
+func NewRandomPermutation(n int, seed uint64) *RandomPermutation {
+	if n <= 0 {
+		panic("arbiter: RandomPermutation needs n > 0")
+	}
+	p := &RandomPermutation{
+		n:      n,
+		seed:   seed,
+		perm:   make([]int, n),
+		served: make([]bool, n),
+	}
+	p.Reset()
+	return p
+}
+
+// Name implements Policy.
+func (p *RandomPermutation) Name() string { return "RP" }
+
+// OnRequest implements Policy.
+func (p *RandomPermutation) OnRequest(int, int64) {}
+
+func (p *RandomPermutation) newRound() {
+	p.src.Perm(p.perm)
+	for i := range p.served {
+		p.served[i] = false
+	}
+}
+
+// pickUnserved returns the first eligible, not-yet-served master in
+// permutation order, or -1.
+func (p *RandomPermutation) pickUnserved(eligible []bool) int {
+	for _, m := range p.perm {
+		if m < len(eligible) && eligible[m] && !p.served[m] {
+			return m
+		}
+	}
+	return -1
+}
+
+// Pick selects the next master for this round, opening a new round if every
+// eligible master was already served in the current one.
+func (p *RandomPermutation) Pick(eligible []bool, _ int64) (int, bool) {
+	if countEligible(eligible) == 0 {
+		return 0, false
+	}
+	if m := p.pickUnserved(eligible); m >= 0 {
+		return m, true
+	}
+	// All eligible masters already had their turn: start a new round.
+	p.newRound()
+	if m := p.pickUnserved(eligible); m >= 0 {
+		return m, true
+	}
+	return 0, false
+}
+
+// OnGrant marks the master as served for the current round.
+func (p *RandomPermutation) OnGrant(m int, _ int64) {
+	if m >= 0 && m < p.n {
+		p.served[m] = true
+	}
+}
+
+// Reset re-seeds the stream and draws a fresh first round.
+func (p *RandomPermutation) Reset() {
+	p.src = rng.New(p.seed)
+	p.newRound()
+}

@@ -1,0 +1,43 @@
+package arbiter
+
+// RoundRobin grants masters in rotating-priority order: after a grant to
+// master m, master m+1 (mod N) has the highest priority. With all masters
+// constantly requesting, it is slot-fair: each master receives the same
+// number of grants, regardless of how long each grant occupies the bus —
+// exactly the behaviour the paper's §II illustrative example shows to be
+// bandwidth-unfair.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin builds a round-robin policy over n masters.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("arbiter: RoundRobin needs n > 0")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// OnRequest implements Policy; round-robin keeps no arrival state.
+func (r *RoundRobin) OnRequest(int, int64) {}
+
+// Pick scans from the current priority pointer for the first eligible master.
+func (r *RoundRobin) Pick(eligible []bool, _ int64) (int, bool) {
+	for i := 0; i < r.n; i++ {
+		m := (r.next + i) % r.n
+		if m < len(eligible) && eligible[m] {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// OnGrant rotates priority past the granted master.
+func (r *RoundRobin) OnGrant(m int, _ int64) { r.next = (m + 1) % r.n }
+
+// Reset implements Policy.
+func (r *RoundRobin) Reset() { r.next = 0 }

@@ -1,0 +1,379 @@
+// Package bus models the non-split AMBA-style shared bus of the paper's
+// platform: masters (cores) post requests that, once granted, hold the bus
+// for their full duration — there are no split transactions, so a granted
+// request occupies the bus for up to MaxL cycles (atomic operations and
+// dirty-eviction misses being the worst case).
+//
+// Arbitration takes one cycle (§III.C: "arbitration decisions are performed
+// in one clock cycle"): a request posted during cycle t is arbitrable from
+// t+1, so an L2 hit holding the bus for 5 cycles has the paper's 6-cycle
+// total turnaround. The arbitration pipeline is:
+//
+//	pending ∧ visible → COMP gate (Table I) → CBA budget filter → policy
+//
+// where the COMP gate and the CBA filter are optional; with both absent the
+// bus is the paper's baseline (e.g. plain random permutations).
+package bus
+
+import (
+	"fmt"
+
+	"creditbus/internal/arbiter"
+	"creditbus/internal/core"
+)
+
+// Request is one bus transaction request.
+type Request struct {
+	// Hold is how many cycles the transaction occupies the bus once
+	// granted (1..MaxHold).
+	Hold int64
+	// Tag is opaque to the bus and returned in completion and trace
+	// callbacks; the memory hierarchy uses it to identify transactions.
+	Tag uint64
+}
+
+// GrantEvent describes one grant for tracing.
+type GrantEvent struct {
+	Master int
+	Cycle  int64 // first cycle of bus occupancy
+	Hold   int64
+	Wait   int64 // cycles spent arbitrable before the grant
+	Tag    uint64
+}
+
+// Config assembles a bus.
+type Config struct {
+	// Masters is the number of bus masters. Required.
+	Masters int
+	// MaxHold is MaxL; Post rejects longer holds. Required.
+	MaxHold int64
+	// Policy is the underlying arbitration policy. Required.
+	Policy arbiter.Policy
+	// Credit optionally installs the CBA filter in front of Policy.
+	Credit *core.Arbiter
+	// Signals optionally installs the Table I COMP gate (WCET-estimation
+	// mode); requires Credit.
+	Signals *core.Signals
+	// ArbLatency is the number of cycles between posting a request and it
+	// becoming arbitrable. Defaults to 1 (the paper's registered request
+	// wires). Set to -1 for 0 latency (idealised analytical scenarios).
+	ArbLatency int64
+	// OnComplete, if set, is called at the end of the cycle in which a
+	// transaction releases the bus.
+	OnComplete func(master int, tag uint64)
+	// OnGrant, if set, is called for every grant (tracing).
+	OnGrant func(GrantEvent)
+}
+
+// MasterStats aggregates per-master bus statistics.
+type MasterStats struct {
+	Requests    int64 // requests posted
+	Grants      int64 // requests granted (== completed + in flight)
+	HeldCycles  int64 // cycles this master occupied the bus
+	WaitCycles  int64 // cycles spent arbitrable but not granted
+	MaxWait     int64 // longest single-request wait
+	TotalWait   int64 // sum of per-request waits
+	Completions int64 // transactions fully served
+}
+
+// Bus is the non-split shared bus. Not safe for concurrent use: the
+// simulator drives it from a single goroutine, one Tick per cycle.
+type Bus struct {
+	cfg        Config
+	arbLatency int64
+
+	cycle     int64
+	holder    int
+	remaining int64
+	holderTag uint64
+
+	pending   []bool
+	visibleAt []int64
+	hold      []int64
+	tag       []uint64
+
+	eligible []bool // scratch for the arbitration mask
+
+	masterStats []MasterStats
+	busyCycles  int64
+	idleCycles  int64
+}
+
+// New validates cfg and builds an idle bus at cycle 0.
+func New(cfg Config) (*Bus, error) {
+	if cfg.Masters <= 0 {
+		return nil, fmt.Errorf("bus: Masters = %d, need > 0", cfg.Masters)
+	}
+	if cfg.MaxHold <= 0 {
+		return nil, fmt.Errorf("bus: MaxHold = %d, need > 0", cfg.MaxHold)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("bus: Policy is required")
+	}
+	if cfg.Credit != nil {
+		if cfg.Credit.Masters() != cfg.Masters {
+			return nil, fmt.Errorf("bus: Credit has %d masters, bus has %d",
+				cfg.Credit.Masters(), cfg.Masters)
+		}
+		if cfg.Credit.MaxHold() != cfg.MaxHold {
+			return nil, fmt.Errorf("bus: Credit MaxHold %d != bus MaxHold %d",
+				cfg.Credit.MaxHold(), cfg.MaxHold)
+		}
+	}
+	if cfg.Signals != nil && cfg.Credit == nil {
+		return nil, fmt.Errorf("bus: Signals (COMP gate) requires Credit")
+	}
+	lat := cfg.ArbLatency
+	switch {
+	case lat == 0:
+		lat = 1
+	case lat == -1:
+		lat = 0
+	case lat < -1:
+		return nil, fmt.Errorf("bus: ArbLatency = %d invalid", cfg.ArbLatency)
+	}
+	b := &Bus{
+		cfg:         cfg,
+		arbLatency:  lat,
+		holder:      -1,
+		pending:     make([]bool, cfg.Masters),
+		visibleAt:   make([]int64, cfg.Masters),
+		hold:        make([]int64, cfg.Masters),
+		tag:         make([]uint64, cfg.Masters),
+		eligible:    make([]bool, cfg.Masters),
+		masterStats: make([]MasterStats, cfg.Masters),
+	}
+	return b, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Bus {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Cycle returns the number of completed Ticks.
+func (b *Bus) Cycle() int64 { return b.cycle }
+
+// Masters returns the number of masters.
+func (b *Bus) Masters() int { return b.cfg.Masters }
+
+// Busy reports whether a transaction currently holds the bus.
+func (b *Bus) Busy() bool { return b.holder >= 0 }
+
+// Holder returns the master holding the bus, or -1.
+func (b *Bus) Holder() int { return b.holder }
+
+// CanPost reports whether master m may post a request: at most one
+// not-yet-granted request per master. A master may post while its current
+// transaction still holds the bus — the AMBA request line stays asserted
+// during a transfer, which is what enables back-to-back grants (and models
+// Table I's permanently-set contender REQ signals).
+func (b *Bus) CanPost(m int) bool {
+	return m >= 0 && m < b.cfg.Masters && !b.pending[m]
+}
+
+// Pending reports whether master m has a posted, not-yet-granted request.
+func (b *Bus) Pending(m int) bool { return b.pending[m] }
+
+// Arbitrable reports whether master m has a pending request that is already
+// visible to the arbiter (the arbitration-latency register has clocked it).
+func (b *Bus) Arbitrable(m int) bool {
+	return b.pending[m] && b.visibleAt[m] <= b.cycle
+}
+
+// Post submits a request for master m during the upcoming cycle; it becomes
+// arbitrable ArbLatency cycles later.
+func (b *Bus) Post(m int, r Request) error {
+	if m < 0 || m >= b.cfg.Masters {
+		return fmt.Errorf("bus: Post from master %d of %d", m, b.cfg.Masters)
+	}
+	if r.Hold <= 0 || r.Hold > b.cfg.MaxHold {
+		return fmt.Errorf("bus: hold %d outside [1,%d]", r.Hold, b.cfg.MaxHold)
+	}
+	if !b.CanPost(m) {
+		return fmt.Errorf("bus: master %d already has an outstanding request", m)
+	}
+	b.pending[m] = true
+	b.visibleAt[m] = b.cycle + 1 + b.arbLatency
+	b.hold[m] = r.Hold
+	b.tag[m] = r.Tag
+	b.masterStats[m].Requests++
+	b.cfg.Policy.OnRequest(m, b.visibleAt[m])
+	return nil
+}
+
+// MustPost is Post that panics on error, for injectors with by-construction
+// valid requests.
+func (b *Bus) MustPost(m int, r Request) {
+	if err := b.Post(m, r); err != nil {
+		panic(err)
+	}
+}
+
+// arbitrate computes the eligibility mask and asks the policy for a grant.
+// Called only while the bus is idle, during the (single) arbitration cycle.
+func (b *Bus) arbitrate(now int64) {
+	any := false
+	for m := 0; m < b.cfg.Masters; m++ {
+		e := b.pending[m] && b.visibleAt[m] <= now
+		if e && b.cfg.Signals != nil && !b.cfg.Signals.Competing(m) {
+			e = false
+		}
+		if e && b.cfg.Credit != nil && !b.cfg.Credit.Eligible(m) {
+			e = false
+		}
+		b.eligible[m] = e
+		any = any || e
+	}
+	if !any {
+		return
+	}
+	m, ok := b.cfg.Policy.Pick(b.eligible, now)
+	if !ok {
+		return
+	}
+	if m < 0 || m >= b.cfg.Masters || !b.eligible[m] {
+		panic(fmt.Sprintf("bus: policy %s picked invalid master %d", b.cfg.Policy.Name(), m))
+	}
+	wait := now - b.visibleAt[m]
+	st := &b.masterStats[m]
+	st.Grants++
+	st.TotalWait += wait
+	if wait > st.MaxWait {
+		st.MaxWait = wait
+	}
+	b.pending[m] = false
+	b.holder = m
+	b.remaining = b.hold[m]
+	b.holderTag = b.tag[m]
+	b.cfg.Policy.OnGrant(m, now)
+	if b.cfg.Signals != nil {
+		b.cfg.Signals.OnGrant(m)
+	}
+	if b.cfg.OnGrant != nil {
+		b.cfg.OnGrant(GrantEvent{Master: m, Cycle: now, Hold: b.hold[m], Wait: wait, Tag: b.tag[m]})
+	}
+}
+
+// Tick advances the bus by one cycle: arbitrate if idle, update CBA budgets
+// and COMP latches, account occupancy, and deliver completions.
+func (b *Bus) Tick() {
+	b.cycle++
+	now := b.cycle
+
+	// COMP latches update combinationally from REQ1 before arbitration:
+	// contenders whose budget is full start competing in the very cycle
+	// the TuA's request is first arbitrated (§III.B: contention is created
+	// "as soon as possible").
+	if b.cfg.Signals != nil {
+		tua := b.cfg.Signals.TuA()
+		b.cfg.Signals.Update(b.pending[tua] && b.visibleAt[tua] <= now)
+	}
+
+	if b.holder < 0 {
+		b.arbitrate(now)
+	}
+
+	if b.cfg.Credit != nil {
+		b.cfg.Credit.Tick(b.holder)
+	}
+
+	if b.holder >= 0 {
+		b.busyCycles++
+		b.masterStats[b.holder].HeldCycles++
+		b.remaining--
+	} else {
+		b.idleCycles++
+	}
+
+	// Wait accounting for masters that are arbitrable but not served.
+	for m := 0; m < b.cfg.Masters; m++ {
+		if b.pending[m] && b.visibleAt[m] <= now {
+			b.masterStats[m].WaitCycles++
+		}
+	}
+
+	if b.holder >= 0 && b.remaining == 0 {
+		m, tag := b.holder, b.holderTag
+		b.masterStats[m].Completions++
+		b.holder = -1
+		if b.cfg.OnComplete != nil {
+			b.cfg.OnComplete(m, tag)
+		}
+	}
+}
+
+// Run ticks the bus n cycles.
+func (b *Bus) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		b.Tick()
+	}
+}
+
+// Stats returns a copy of master m's statistics.
+func (b *Bus) Stats(m int) MasterStats { return b.masterStats[m] }
+
+// BusyCycles returns the number of cycles the bus was occupied.
+func (b *Bus) BusyCycles() int64 { return b.busyCycles }
+
+// IdleCycles returns the number of cycles the bus was free.
+func (b *Bus) IdleCycles() int64 { return b.idleCycles }
+
+// Utilisation returns busy cycles over total cycles (0 before any Tick).
+func (b *Bus) Utilisation() float64 {
+	if b.cycle == 0 {
+		return 0
+	}
+	return float64(b.busyCycles) / float64(b.cycle)
+}
+
+// CycleShare returns the fraction of all elapsed cycles master m held the
+// bus — the quantity CBA makes fair.
+func (b *Bus) CycleShare(m int) float64 {
+	if b.cycle == 0 {
+		return 0
+	}
+	return float64(b.masterStats[m].HeldCycles) / float64(b.cycle)
+}
+
+// SlotShare returns master m's fraction of all grants — the quantity
+// slot-fair policies make fair.
+func (b *Bus) SlotShare(m int) float64 {
+	var total int64
+	for i := range b.masterStats {
+		total += b.masterStats[i].Grants
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(b.masterStats[m].Grants) / float64(total)
+}
+
+// Reset returns the bus, its policy, and its optional CBA filter and COMP
+// gate to their initial states.
+func (b *Bus) Reset() {
+	b.cycle = 0
+	b.holder = -1
+	b.remaining = 0
+	b.holderTag = 0
+	b.busyCycles = 0
+	b.idleCycles = 0
+	for m := range b.pending {
+		b.pending[m] = false
+		b.visibleAt[m] = 0
+		b.hold[m] = 0
+		b.tag[m] = 0
+		b.masterStats[m] = MasterStats{}
+	}
+	b.cfg.Policy.Reset()
+	if b.cfg.Credit != nil {
+		b.cfg.Credit.Reset()
+	}
+	if b.cfg.Signals != nil {
+		b.cfg.Signals.Reset()
+	}
+}

@@ -1,0 +1,204 @@
+// Package cpu models the in-order, single-issue pipelined cores of the
+// paper's platform (SPARC V8 LEON3). The model is a timing model, not an
+// ISA interpreter: programs are streams of operations — ALU work of a known
+// cycle count and memory accesses — and the core advances one cycle per
+// Tick, stalling whenever a memory access cannot complete locally. This is
+// the property the paper's WCET argument relies on: "the impact of
+// contention in execution time is the same for different requests of the
+// TuA, which is often the case in simple in-order processors" (§III.B).
+package cpu
+
+import "fmt"
+
+// OpKind distinguishes operation classes.
+type OpKind uint8
+
+const (
+	// OpALU is Cycles worth of computation with no memory traffic.
+	OpALU OpKind = iota
+	// OpLoad reads Addr through the data cache hierarchy; the core stalls
+	// until data returns.
+	OpLoad
+	// OpStore writes Addr; write-through L1 sends it to the bus, but a
+	// store buffer hides the latency unless it is full.
+	OpStore
+	// OpAtomic is an unsplittable read-modify-write of Addr (the paper's
+	// worst-case 56-cycle bus transaction); the core stalls until done.
+	OpAtomic
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpALU:
+		return "alu"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one program operation.
+type Op struct {
+	Kind OpKind
+	// Addr is the byte address of memory operations.
+	Addr uint64
+	// Cycles is the duration of OpALU operations (≥ 1).
+	Cycles int64
+}
+
+// Program supplies the core's operation stream.
+type Program interface {
+	// Next returns the next operation, or ok=false at program end.
+	Next() (op Op, ok bool)
+	// Reset rewinds the program to its beginning.
+	Reset()
+}
+
+// Trace is a replayable Program backed by a slice.
+type Trace struct {
+	ops []Op
+	pos int
+}
+
+// NewTrace wraps ops; the slice is retained, not copied.
+func NewTrace(ops []Op) *Trace { return &Trace{ops: ops} }
+
+// Next implements Program.
+func (t *Trace) Next() (Op, bool) {
+	if t.pos >= len(t.ops) {
+		return Op{}, false
+	}
+	op := t.ops[t.pos]
+	t.pos++
+	return op, true
+}
+
+// Reset implements Program.
+func (t *Trace) Reset() { t.pos = 0 }
+
+// Len returns the number of operations.
+func (t *Trace) Len() int { return len(t.ops) }
+
+// Ops exposes the underlying operations (read-only use).
+func (t *Trace) Ops() []Op { return t.ops }
+
+// Port is the core's window into the memory hierarchy (L1, store buffer,
+// bus, L2 partition, memory controller).
+type Port interface {
+	// Begin starts op's access. If it returns true the access completed
+	// within its single issue cycle (L1 hit, or a store absorbed by the
+	// store buffer); otherwise the core stalls until Resume is called on
+	// it.
+	Begin(op Op) bool
+}
+
+// Stats are the core's cycle-accounting counters.
+type Stats struct {
+	Cycles       int64 // total ticks while the program was live
+	StallCycles  int64 // ticks spent stalled on memory
+	ALUCycles    int64 // ticks spent in ALU work
+	AccessCycles int64 // ticks spent issuing memory operations
+	Instructions int64 // operations consumed
+	Loads        int64
+	Stores       int64
+	Atomics      int64
+}
+
+// Core is one in-order core. Drive it with one Tick per cycle; the memory
+// system unblocks it with Resume.
+type Core struct {
+	prog    Program
+	port    Port
+	stalled bool
+	aluLeft int64
+	done    bool
+	stats   Stats
+}
+
+// NewCore binds a program to a memory port.
+func NewCore(prog Program, port Port) *Core {
+	if prog == nil || port == nil {
+		panic("cpu: NewCore needs a program and a port")
+	}
+	return &Core{prog: prog, port: port}
+}
+
+// Done reports whether the program has finished.
+func (c *Core) Done() bool { return c.done }
+
+// Stalled reports whether the core is waiting on memory.
+func (c *Core) Stalled() bool { return c.stalled }
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Resume unblocks a stalled core; its next Tick proceeds with the program.
+// The memory system calls this when the outstanding access completes.
+func (c *Core) Resume() {
+	if !c.stalled {
+		panic("cpu: Resume on a core that is not stalled")
+	}
+	c.stalled = false
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick() {
+	if c.done {
+		return
+	}
+	c.stats.Cycles++
+	if c.stalled {
+		c.stats.StallCycles++
+		return
+	}
+	if c.aluLeft > 0 {
+		c.aluLeft--
+		c.stats.ALUCycles++
+		return
+	}
+	op, ok := c.prog.Next()
+	if !ok {
+		c.done = true
+		c.stats.Cycles-- // the tick that found program end does not count
+		return
+	}
+	c.stats.Instructions++
+	switch op.Kind {
+	case OpALU:
+		if op.Cycles < 1 {
+			panic(fmt.Sprintf("cpu: ALU op with %d cycles", op.Cycles))
+		}
+		c.stats.ALUCycles++
+		c.aluLeft = op.Cycles - 1
+	case OpLoad, OpStore, OpAtomic:
+		switch op.Kind {
+		case OpLoad:
+			c.stats.Loads++
+		case OpStore:
+			c.stats.Stores++
+		default:
+			c.stats.Atomics++
+		}
+		c.stats.AccessCycles++
+		if !c.port.Begin(op) {
+			c.stalled = true
+		}
+	default:
+		panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
+	}
+}
+
+// Reset rewinds the program and clears all state and counters.
+func (c *Core) Reset() {
+	c.prog.Reset()
+	c.stalled = false
+	c.aluLeft = 0
+	c.done = false
+	c.stats = Stats{}
+}

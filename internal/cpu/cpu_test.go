@@ -1,0 +1,179 @@
+package cpu
+
+import "testing"
+
+// scriptPort is a Port stub: it answers Begin from a script of immediates
+// and records the ops it saw.
+type scriptPort struct {
+	immediate []bool
+	seen      []Op
+}
+
+func (p *scriptPort) Begin(op Op) bool {
+	p.seen = append(p.seen, op)
+	if len(p.immediate) == 0 {
+		return true
+	}
+	r := p.immediate[0]
+	p.immediate = p.immediate[1:]
+	return r
+}
+
+func TestTraceProgram(t *testing.T) {
+	tr := NewTrace([]Op{{Kind: OpALU, Cycles: 2}, {Kind: OpLoad, Addr: 8}})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	op, ok := tr.Next()
+	if !ok || op.Kind != OpALU {
+		t.Fatalf("first op = %+v, %v", op, ok)
+	}
+	tr.Next()
+	if _, ok := tr.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+	tr.Reset()
+	if op, ok := tr.Next(); !ok || op.Kind != OpALU {
+		t.Fatalf("after Reset: %+v, %v", op, ok)
+	}
+}
+
+func TestALUTiming(t *testing.T) {
+	// 3-cycle ALU op + 1-cycle ALU op = 4 cycles total.
+	port := &scriptPort{}
+	c := NewCore(NewTrace([]Op{
+		{Kind: OpALU, Cycles: 3},
+		{Kind: OpALU, Cycles: 1},
+	}), port)
+	ticks := 0
+	for !c.Done() {
+		c.Tick()
+		ticks++
+		if ticks > 10 {
+			t.Fatal("core did not finish")
+		}
+	}
+	st := c.Stats()
+	if st.Cycles != 4 || st.ALUCycles != 4 || st.Instructions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadHitTakesOneCycle(t *testing.T) {
+	port := &scriptPort{immediate: []bool{true}}
+	c := NewCore(NewTrace([]Op{{Kind: OpLoad, Addr: 64}}), port)
+	c.Tick()
+	if c.Stalled() {
+		t.Fatal("immediate access stalled the core")
+	}
+	c.Tick() // discovers end of program
+	if !c.Done() {
+		t.Fatal("core not done")
+	}
+	st := c.Stats()
+	if st.Cycles != 1 || st.AccessCycles != 1 || st.Loads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMissStallsUntilResume(t *testing.T) {
+	port := &scriptPort{immediate: []bool{false}}
+	c := NewCore(NewTrace([]Op{{Kind: OpLoad, Addr: 64}, {Kind: OpALU, Cycles: 1}}), port)
+	c.Tick() // issues the load, misses
+	if !c.Stalled() {
+		t.Fatal("miss did not stall")
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	st := c.Stats()
+	if st.StallCycles != 5 {
+		t.Fatalf("stall cycles = %d, want 5", st.StallCycles)
+	}
+	c.Resume()
+	c.Tick() // executes the ALU op
+	c.Tick() // end
+	if !c.Done() {
+		t.Fatal("not done after resume")
+	}
+	st = c.Stats()
+	if st.Cycles != 7 { // 1 issue + 5 stall + 1 alu
+		t.Fatalf("total cycles = %d, want 7", st.Cycles)
+	}
+}
+
+func TestStoreAndAtomicCounters(t *testing.T) {
+	port := &scriptPort{immediate: []bool{true, false}}
+	c := NewCore(NewTrace([]Op{
+		{Kind: OpStore, Addr: 8},
+		{Kind: OpAtomic, Addr: 16},
+	}), port)
+	c.Tick()
+	c.Tick()
+	st := c.Stats()
+	if st.Stores != 1 || st.Atomics != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !c.Stalled() {
+		t.Fatal("atomic with deferred completion did not stall")
+	}
+}
+
+func TestResumeWithoutStallPanics(t *testing.T) {
+	c := NewCore(NewTrace(nil), &scriptPort{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resume on running core did not panic")
+		}
+	}()
+	c.Resume()
+}
+
+func TestBadALUCyclesPanics(t *testing.T) {
+	c := NewCore(NewTrace([]Op{{Kind: OpALU, Cycles: 0}}), &scriptPort{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-cycle ALU op did not panic")
+		}
+	}()
+	c.Tick()
+}
+
+func TestCoreReset(t *testing.T) {
+	port := &scriptPort{}
+	c := NewCore(NewTrace([]Op{{Kind: OpALU, Cycles: 2}}), port)
+	for !c.Done() {
+		c.Tick()
+	}
+	c.Reset()
+	if c.Done() || c.Stats().Cycles != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	ticks := 0
+	for !c.Done() {
+		c.Tick()
+		ticks++
+	}
+	if c.Stats().Cycles != 2 {
+		t.Fatalf("re-run cycles = %d, want 2", c.Stats().Cycles)
+	}
+}
+
+func TestTickAfterDoneIsNoop(t *testing.T) {
+	c := NewCore(NewTrace(nil), &scriptPort{})
+	c.Tick()
+	c.Tick()
+	if st := c.Stats(); st.Cycles != 0 {
+		t.Fatalf("empty program consumed %d cycles", st.Cycles)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpALU.String() != "alu" || OpLoad.String() != "load" ||
+		OpStore.String() != "store" || OpAtomic.String() != "atomic" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatal("unknown OpKind string wrong")
+	}
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"creditbus/internal/sim"
+	"creditbus/internal/stats"
+	"creditbus/internal/workload"
+)
+
+// Fig1Configs lists the six bars of the paper's Figure 1, in the figure's
+// legend order: random permutations, homogeneous CBA and heterogeneous CBA
+// (TuA gets 50% bandwidth), each in isolation and under maximum contention.
+var Fig1Configs = []string{"RP-ISO", "CBA-ISO", "H-CBA-ISO", "RP-CON", "CBA-CON", "H-CBA-CON"}
+
+// Fig1Cell is one bar: mean normalised execution time and its 95% CI half
+// width (in normalised units).
+type Fig1Cell struct {
+	Mean float64
+	CI   float64
+}
+
+// Fig1Row is one benchmark's six bars, normalised to the benchmark's RP-ISO
+// mean ("performance normalized to the result obtained for RP in
+// isolation", §IV.B).
+type Fig1Row struct {
+	Benchmark   string
+	RPISOCycles float64 // the normalisation baseline, in cycles
+	Cells       map[string]Fig1Cell
+}
+
+// fig1Config maps a configuration name to the platform setup and scenario.
+func fig1Config(name string) (sim.Config, bool, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sim.PolicyRandomPerm
+	contention := false
+	switch name {
+	case "RP-ISO":
+	case "CBA-ISO":
+		cfg.Credit.Kind = sim.CreditCBA
+	case "H-CBA-ISO":
+		cfg.Credit.Kind = sim.CreditHCBAWeights
+	case "RP-CON":
+		contention = true
+	case "CBA-CON":
+		cfg.Credit.Kind = sim.CreditCBA
+		contention = true
+	case "H-CBA-CON":
+		cfg.Credit.Kind = sim.CreditHCBAWeights
+		contention = true
+	default:
+		return sim.Config{}, false, fmt.Errorf("exp: unknown Figure 1 configuration %q", name)
+	}
+	return cfg, contention, nil
+}
+
+// Fig1 reruns the paper's Figure 1 campaign: every Figure 1 benchmark under
+// all six configurations, opts.Runs randomised runs each.
+func Fig1(opts Options) ([]Fig1Row, error) {
+	return fig1Campaign(opts, workload.FigureOneSet())
+}
+
+// Fig1Extended runs the Figure 1 campaign over the full EEMBC-Autobench-like
+// suite (ten kernels) — an extension beyond the paper's four plotted
+// benchmarks, exercising the same configurations on lighter and heavier
+// traffic shapes.
+func Fig1Extended(opts Options) ([]Fig1Row, error) {
+	names := []string{
+		"a2time", "aifirf", "bitmnp", "cacheb", "canrdr",
+		"matrix", "puwmod", "rspeed", "tblook", "ttsprk",
+	}
+	specs := make([]workload.Spec, 0, len(names))
+	for _, n := range names {
+		s, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("exp: missing workload %q", n)
+		}
+		specs = append(specs, s)
+	}
+	return fig1Campaign(opts, specs)
+}
+
+func fig1Campaign(opts Options, specs []workload.Spec) ([]Fig1Row, error) {
+	opts = opts.withDefaults()
+	rows := make([]Fig1Row, 0, len(specs))
+
+	for bi, spec := range specs {
+		trace := opts.trim(spec.Build(1))
+		means := map[string]*stats.Accumulator{}
+		for ci, cfgName := range Fig1Configs {
+			cfg, contention, err := fig1Config(cfgName)
+			if err != nil {
+				return nil, err
+			}
+			acc := &stats.Accumulator{}
+			for r := 0; r < opts.Runs; r++ {
+				seed := opts.runSeed(bi*len(Fig1Configs)+ci, r)
+				trace.Reset()
+				var res sim.Result
+				if contention {
+					res, err = sim.RunMaxContention(cfg, trace, seed)
+				} else {
+					res, err = sim.RunIsolation(cfg, trace, seed)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s/%s run %d: %w", spec.Name, cfgName, r, err)
+				}
+				acc.Add(float64(res.TaskCycles))
+			}
+			means[cfgName] = acc
+		}
+
+		base := means["RP-ISO"].Mean()
+		row := Fig1Row{Benchmark: spec.Name, RPISOCycles: base, Cells: map[string]Fig1Cell{}}
+		for _, cfgName := range Fig1Configs {
+			acc := means[cfgName]
+			row.Cells[cfgName] = Fig1Cell{
+				Mean: acc.Mean() / base,
+				CI:   acc.CI95HalfWidth() / base,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig1Summary extracts the headline numbers the paper quotes from the
+// figure: the worst contention slowdown without and with CBA, and the
+// average isolation overhead of CBA.
+type Fig1Summary struct {
+	// MaxRPCon is the worst RP-CON slowdown (paper: 3.34×, matrix).
+	MaxRPCon float64
+	// MaxRPConBench names the benchmark attaining it.
+	MaxRPConBench string
+	// MaxCBACon is the worst CBA-CON slowdown (paper: 2.34×).
+	MaxCBACon float64
+	// MaxCBAConBench names the benchmark attaining it.
+	MaxCBAConBench string
+	// MaxHCBACon is the worst H-CBA-CON slowdown (paper: below CBA-CON).
+	MaxHCBACon float64
+	// AvgCBAIso is the average CBA-ISO overhead (paper: ~1.03×).
+	AvgCBAIso float64
+	// AvgHCBAIso is the average H-CBA-ISO overhead (paper: ≈1.00×).
+	AvgHCBAIso float64
+}
+
+// Summarise computes the headline numbers from Figure 1 rows.
+func Summarise(rows []Fig1Row) Fig1Summary {
+	var s Fig1Summary
+	var cbaIso, hcbaIso float64
+	for _, row := range rows {
+		if v := row.Cells["RP-CON"].Mean; v > s.MaxRPCon {
+			s.MaxRPCon, s.MaxRPConBench = v, row.Benchmark
+		}
+		if v := row.Cells["CBA-CON"].Mean; v > s.MaxCBACon {
+			s.MaxCBACon, s.MaxCBAConBench = v, row.Benchmark
+		}
+		if v := row.Cells["H-CBA-CON"].Mean; v > s.MaxHCBACon {
+			s.MaxHCBACon = v
+		}
+		cbaIso += row.Cells["CBA-ISO"].Mean
+		hcbaIso += row.Cells["H-CBA-ISO"].Mean
+	}
+	if n := float64(len(rows)); n > 0 {
+		s.AvgCBAIso = cbaIso / n
+		s.AvgHCBAIso = hcbaIso / n
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"creditbus/internal/mbpta"
+	"creditbus/internal/sim"
+	"creditbus/internal/workload"
+)
+
+// MBPTAResult is the §III.B experiment: pWCET estimation for a benchmark
+// under maximum contention, with and without CBA. The paper's thesis is
+// that CBA both reduces observed contention slowdowns and remains
+// MBPTA-compatible (randomised arbitration ⇒ i.i.d.-looking execution
+// times); with CBA the fitted tail should sit well below the baseline's
+// for short-request workloads.
+type MBPTAResult struct {
+	Benchmark string
+	Runs      int
+	Block     int
+	// RP and CBA are the fitted analyses for the baseline and CBA
+	// configurations.
+	RP, CBA mbpta.Analysis
+	// RPCurve and CBACurve are pWCET bounds at 10^-3..10^-12 per run.
+	RPCurve, CBACurve []mbpta.CurvePoint
+}
+
+// MBPTAExperiment collects opts.Runs maximum-contention execution times of
+// the named benchmark under RP and RP+CBA and fits both tails.
+func MBPTAExperiment(opts Options, benchmark string) (MBPTAResult, error) {
+	opts = opts.withDefaults()
+	spec, ok := workload.ByName(benchmark)
+	if !ok {
+		return MBPTAResult{}, fmt.Errorf("exp: unknown benchmark %q", benchmark)
+	}
+	trace := opts.trim(spec.Build(1))
+
+	collect := func(withCBA bool, cfgIdx int) ([]float64, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Policy = sim.PolicyRandomPerm
+		if withCBA {
+			cfg.Credit.Kind = sim.CreditCBA
+		}
+		xs := make([]float64, 0, opts.Runs)
+		for r := 0; r < opts.Runs; r++ {
+			trace.Reset()
+			res, err := sim.RunMaxContention(cfg, trace, opts.runSeed(1000+cfgIdx, r))
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(res.TaskCycles))
+		}
+		return xs, nil
+	}
+
+	rpSamples, err := collect(false, 0)
+	if err != nil {
+		return MBPTAResult{}, err
+	}
+	cbaSamples, err := collect(true, 1)
+	if err != nil {
+		return MBPTAResult{}, err
+	}
+
+	// Block size: the customary 20 for large campaigns, scaled down so
+	// that at least 10 maxima remain for the fit.
+	block := opts.Runs / 20
+	if block > 20 {
+		block = 20
+	}
+	if block < 2 {
+		block = 2
+	}
+
+	rp, err := mbpta.Analyze(rpSamples, block)
+	if err != nil {
+		return MBPTAResult{}, fmt.Errorf("exp: RP fit: %w", err)
+	}
+	cba, err := mbpta.Analyze(cbaSamples, block)
+	if err != nil {
+		return MBPTAResult{}, fmt.Errorf("exp: CBA fit: %w", err)
+	}
+	return MBPTAResult{
+		Benchmark: benchmark,
+		Runs:      opts.Runs,
+		Block:     block,
+		RP:        rp,
+		CBA:       cba,
+		RPCurve:   rp.Curve(10),
+		CBACurve:  cba.Curve(10),
+	}, nil
+}

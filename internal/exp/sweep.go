@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"creditbus/internal/arbiter"
+	"creditbus/internal/bus"
+	"creditbus/internal/core"
+)
+
+// SweepPolicies are the arbitration setups compared by the contender-length
+// sweep; "CBA+RR" and "CBA+RP" put the credit filter in front.
+var SweepPolicies = []string{"RR", "RP", "FIFO", "TDMA", "CBA+RR", "CBA+RP"}
+
+// SweepPoint is one contender request length with the TuA slowdown under
+// each setup — the quantitative form of §I's argument that slot-fair
+// policies leave short-request tasks with a slowdown that grows with the
+// contenders' request length ("virtually unbounded"), while CBA pins it
+// near the core count.
+type SweepPoint struct {
+	ContenderHold int64
+	Slowdown      map[string]float64
+}
+
+// sweepRun measures the steady-state completion count of a saturating TuA
+// (hold 5, immediate repost) against three saturating contenders of the
+// given hold, and converts it into a slowdown against the TuA's isolated
+// throughput under the same policy.
+func sweepRun(policyName string, contenderHold int64, seed uint64, contenders bool) float64 {
+	const masters, maxHold, horizon = 4, 56, 400_000
+	var policy arbiter.Policy
+	var credit *core.Arbiter
+	switch policyName {
+	case "RR":
+		policy = arbiter.NewRoundRobin(masters)
+	case "RP":
+		policy = arbiter.NewRandomPermutation(masters, seed)
+	case "FIFO":
+		policy = arbiter.NewFIFO(masters)
+	case "TDMA":
+		policy = arbiter.NewTDMA(masters, maxHold)
+	case "CBA+RR":
+		policy = arbiter.NewRoundRobin(masters)
+		credit = core.MustNew(core.Homogeneous(masters, maxHold))
+	case "CBA+RP":
+		policy = arbiter.NewRandomPermutation(masters, seed)
+		credit = core.MustNew(core.Homogeneous(masters, maxHold))
+	default:
+		panic("exp: unknown sweep policy " + policyName)
+	}
+	b := bus.MustNew(bus.Config{
+		Masters: masters, MaxHold: maxHold,
+		Policy: policy, Credit: credit,
+	})
+	for b.Cycle() < horizon {
+		if b.CanPost(0) {
+			b.MustPost(0, bus.Request{Hold: 5})
+		}
+		if contenders {
+			for m := 1; m < masters; m++ {
+				if b.CanPost(m) {
+					b.MustPost(m, bus.Request{Hold: contenderHold})
+				}
+			}
+		}
+		b.Tick()
+	}
+	return float64(b.Stats(0).Completions)
+}
+
+// Sweep runs the contender-length sweep over holds 7..56.
+func Sweep(opts Options) []SweepPoint {
+	opts = opts.withDefaults()
+	holds := []int64{7, 14, 28, 42, 56}
+	out := make([]SweepPoint, 0, len(holds))
+	for hi, h := range holds {
+		pt := SweepPoint{ContenderHold: h, Slowdown: map[string]float64{}}
+		for pi, p := range SweepPolicies {
+			seed := opts.runSeed(hi*len(SweepPolicies)+pi, 0)
+			iso := sweepRun(p, h, seed, false)
+			con := sweepRun(p, h, seed+1, true)
+			pt.Slowdown[p] = iso / con
+		}
+		out = append(out, pt)
+	}
+	return out
+}

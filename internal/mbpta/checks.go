@@ -1,0 +1,113 @@
+package mbpta
+
+import (
+	"math"
+	"sort"
+)
+
+// IIDReport summarises the exchangeability diagnostics MBPTA requires of
+// its measurements: the randomised platform must make execution times
+// behave like independent, identically distributed draws before EVT can be
+// applied. These are the usual two screening tests — serial correlation and
+// distributional stability across the campaign.
+type IIDReport struct {
+	// Lag1 is the lag-1 sample autocorrelation; near zero for independent
+	// samples.
+	Lag1 float64
+	// Lag1Pass is true when |Lag1| is below the 95% normal band 1.96/√n.
+	Lag1Pass bool
+	// KS is the two-sample Kolmogorov–Smirnov statistic between the first
+	// and second halves of the campaign.
+	KS float64
+	// KSPass is true when KS is below the α = 0.05 critical value — the
+	// two halves look identically distributed.
+	KSPass bool
+}
+
+// Pass reports whether both diagnostics pass.
+func (r IIDReport) Pass() bool { return r.Lag1Pass && r.KSPass }
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs, or 0 when
+// it is undefined (fewer than k+2 samples or zero variance).
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k <= 0 || n < k+2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+k < n {
+			num += d * (xs[i+k] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// KSTwoSample returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) − F_b(x)|. It returns 0 when either sample is empty.
+func KSTwoSample(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// ksCritical returns the α = 0.05 two-sample critical value
+// c(α)·sqrt((n+m)/(n·m)) with c(0.05) = 1.358.
+func ksCritical(n, m int) float64 {
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	return 1.358 * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
+// CheckIID runs both diagnostics on a measurement campaign.
+func CheckIID(xs []float64) IIDReport {
+	var r IIDReport
+	n := len(xs)
+	r.Lag1 = Autocorrelation(xs, 1)
+	if n > 2 {
+		r.Lag1Pass = math.Abs(r.Lag1) <= 1.96/math.Sqrt(float64(n))
+	}
+	half := n / 2
+	if half > 0 {
+		r.KS = KSTwoSample(xs[:half], xs[half:])
+		r.KSPass = r.KS <= ksCritical(half, n-half)
+	}
+	return r
+}

@@ -1,0 +1,50 @@
+package rng
+
+// BitBank models the APRANDBANK module of the paper's platform: a bank that
+// delivers a fixed number of fresh random bits every clock cycle to the
+// arbiter. Consumers call Tick once per simulated cycle and then read bits
+// from the current word. Reading more bits than the bank width in one cycle
+// is a modelling error and panics, mirroring the hardware constraint that the
+// arbiter can only consume the bits the bank produced that cycle.
+type BitBank struct {
+	src   *Stream
+	width int
+	word  uint64
+	left  int
+	cycle int64
+}
+
+// NewBitBank returns a bank producing width random bits per cycle
+// (1 <= width <= 64), seeded from seed.
+func NewBitBank(seed uint64, width int) *BitBank {
+	if width < 1 || width > 64 {
+		panic("rng: BitBank width must be in [1,64]")
+	}
+	return &BitBank{src: New(seed), width: width}
+}
+
+// Tick advances the bank to the next cycle, producing a fresh word of
+// random bits.
+func (b *BitBank) Tick() {
+	b.word = b.src.Uint64() & (^uint64(0) >> (64 - uint(b.width)))
+	b.left = b.width
+	b.cycle++
+}
+
+// Cycle returns the number of Ticks performed so far.
+func (b *BitBank) Cycle() int64 { return b.cycle }
+
+// Bits consumes n bits from the current cycle's word. It panics if more bits
+// are requested than remain this cycle, or if called before the first Tick.
+func (b *BitBank) Bits(n int) uint64 {
+	if n <= 0 || n > b.left {
+		panic("rng: BitBank over-consumed (call Tick, and stay within width)")
+	}
+	v := b.word & ((1 << uint(n)) - 1)
+	b.word >>= uint(n)
+	b.left -= n
+	return v
+}
+
+// Remaining reports how many bits can still be consumed this cycle.
+func (b *BitBank) Remaining() int { return b.left }

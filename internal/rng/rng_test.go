@@ -1,0 +1,291 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams with equal seeds diverged at step %d: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with distinct seeds agreed %d/1000 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		t.Fatal("zero seed produced all-zero xoshiro state")
+	}
+	// The stream must still produce varied output.
+	first := s.Uint64()
+	varied := false
+	for i := 0; i < 10; i++ {
+		if s.Uint64() != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("zero-seeded stream produced constant output")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams agreed %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square test over 10 buckets; threshold is the 0.999 quantile for
+	// 9 degrees of freedom (27.88) to keep the test deterministic and robust.
+	s := New(99)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Fatalf("Intn chi-square %.2f exceeds 27.88; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := make([]int, 16)
+	for iter := 0; iter < 100; iter++ {
+		s.Perm(p)
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// Every index should appear in position 0 about equally often.
+	s := New(13)
+	p := make([]int, 4)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		s.Perm(p)
+		counts[p[0]]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("position-0 frequency of %d is %.3f, want ~0.25 (counts=%v)", i, frac, counts)
+		}
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	s := New(17)
+	weights := []int64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	for i, w := range weights {
+		want := float64(w) / 10
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("weight %d: frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	cases := [][]int64{{}, {0, 0}, {-1, 2}}
+	for _, ws := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WeightedChoice(%v) did not panic", ws)
+				}
+			}()
+			New(1).WeightedChoice(ws)
+		}()
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	s := New(23)
+	f := func(n uint16, _ uint8) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitBankWidthAndDeterminism(t *testing.T) {
+	a := NewBitBank(31, 8)
+	b := NewBitBank(31, 8)
+	for i := 0; i < 100; i++ {
+		a.Tick()
+		b.Tick()
+		if av, bv := a.Bits(8), b.Bits(8); av != bv {
+			t.Fatalf("bit banks with equal seeds diverged at cycle %d", i)
+		}
+		if av := a.Remaining(); av != 0 {
+			t.Fatalf("remaining after full consume = %d, want 0", av)
+		}
+	}
+	if a.Cycle() != 100 {
+		t.Fatalf("cycle count = %d, want 100", a.Cycle())
+	}
+}
+
+func TestBitBankPartialConsume(t *testing.T) {
+	b := NewBitBank(5, 16)
+	b.Tick()
+	v1 := b.Bits(4)
+	v2 := b.Bits(12)
+	if v1 > 0xF || v2 > 0xFFF {
+		t.Fatalf("bit fields exceed widths: %x %x", v1, v2)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", b.Remaining())
+	}
+}
+
+func TestBitBankOverconsumePanics(t *testing.T) {
+	b := NewBitBank(5, 4)
+	b.Tick()
+	b.Bits(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-consuming BitBank did not panic")
+		}
+	}()
+	b.Bits(1)
+}
+
+func TestBitBankBadWidthPanics(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBitBank width=%d did not panic", w)
+				}
+			}()
+			NewBitBank(1, w)
+		}()
+	}
+}
+
+func TestBitBankBitBalance(t *testing.T) {
+	// Each bit position should be ~50% ones.
+	b := NewBitBank(77, 8)
+	var ones [8]int
+	const cycles = 20000
+	for i := 0; i < cycles; i++ {
+		b.Tick()
+		w := b.Bits(8)
+		for j := 0; j < 8; j++ {
+			if w>>uint(j)&1 == 1 {
+				ones[j]++
+			}
+		}
+	}
+	for j, c := range ones {
+		frac := float64(c) / cycles
+		if math.Abs(frac-0.5) > 0.02 {
+			t.Fatalf("bit %d balance %.3f, want ~0.5", j, frac)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPerm4(b *testing.B) {
+	s := New(1)
+	p := make([]int, 4)
+	for i := 0; i < b.N; i++ {
+		s.Perm(p)
+	}
+}

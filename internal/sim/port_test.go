@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"creditbus/internal/cpu"
+	"creditbus/internal/mem"
+	"creditbus/internal/rng"
+)
+
+// runProgram executes ops on core 0 of a default platform and returns the
+// machine for inspection.
+func runProgram(t *testing.T, cfg Config, ops []cpu.Op) *Machine {
+	t.Helper()
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[0] = cpu.NewTrace(ops)
+	m, err := NewMachine(cfg, programs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStoreBufferFullStallsAndRecovers(t *testing.T) {
+	// Nine immediate stores against a depth-4 buffer: the core must stall
+	// on the overflowing ones, requeue the blocked store, and finish with
+	// every store eventually on the bus.
+	cfg := DefaultConfig()
+	var ops []cpu.Op
+	for i := 0; i < 9; i++ {
+		ops = append(ops, cpu.Op{Kind: cpu.OpStore, Addr: uint64(0x9000 + i*4096)})
+	}
+	ops = append(ops, cpu.Op{Kind: cpu.OpALU, Cycles: 1})
+	m := runProgram(t, cfg, ops)
+
+	st := m.Core(0).Stats()
+	if st.Stores != 9 {
+		t.Fatalf("stores executed = %d, want 9", st.Stores)
+	}
+	if st.StallCycles == 0 {
+		t.Fatal("nine stores through a depth-4 buffer should stall the core")
+	}
+	// The program may finish while stores are still queued; drain the
+	// port, then every store must have become one bus transaction
+	// (distinct lines, no merge).
+	for i := 0; i < 2000 && !m.ports[0].drained(); i++ {
+		m.Tick()
+	}
+	if got := m.Bus().Stats(0).Completions; got != 9 {
+		t.Fatalf("bus completions = %d, want 9", got)
+	}
+}
+
+func TestStoreBufferDrainsAfterProgramEnd(t *testing.T) {
+	// A store posted right before program end must still drain; Machine.Run
+	// returns when the core is done, and the port keeps no dangling state
+	// visible to the next run because each run builds a fresh machine —
+	// but the transaction itself must have been priced.
+	cfg := DefaultConfig()
+	m := runProgram(t, cfg, []cpu.Op{
+		{Kind: cpu.OpStore, Addr: 0x4000},
+		{Kind: cpu.OpALU, Cycles: 200}, // plenty of time to drain
+	})
+	if got := m.MemController().TotalCount(); got != 1 {
+		t.Fatalf("transactions priced = %d, want 1", got)
+	}
+}
+
+func TestAtomicWaitsForStoreDrain(t *testing.T) {
+	// Stores enqueued before an atomic must reach the bus before it: the
+	// atomic is the last completion.
+	cfg := DefaultConfig()
+	var order []mem.Kind
+	// Reach into the machine: wrap the controller by observing counts
+	// after each completion via a custom program is intrusive; instead
+	// exploit determinism — run and check the atomic happened (counted)
+	// and that the core stalled through it.
+	m := runProgram(t, cfg, []cpu.Op{
+		{Kind: cpu.OpStore, Addr: 0x1000},
+		{Kind: cpu.OpStore, Addr: 0x2000},
+		{Kind: cpu.OpAtomic, Addr: 0x3000},
+		{Kind: cpu.OpALU, Cycles: 1},
+	})
+	_ = order
+	if got := m.MemController().Count(mem.AtomicRMW); got != 1 {
+		t.Fatalf("atomic transactions = %d, want 1", got)
+	}
+	if got := m.Bus().Stats(0).Completions; got != 3 {
+		t.Fatalf("bus completions = %d, want 3 (2 stores + 1 atomic)", got)
+	}
+	// The atomic holds the bus 56 cycles and the core stalls through the
+	// stores it waits behind: 2×(store) + atomic ≥ 3 transactions' worth.
+	if st := m.Core(0).Stats(); st.StallCycles < 56 {
+		t.Fatalf("stall cycles = %d, want ≥ 56 (atomic hold)", st.StallCycles)
+	}
+}
+
+func TestLoadBypassesBufferedStores(t *testing.T) {
+	// A load miss with stores queued behind a free master slot must go
+	// first (the core is blocked on it). Construct: one store (posts
+	// immediately, occupying the slot), then a load miss to a different
+	// line, then three more stores. The load should be the second
+	// completion, not the fifth.
+	cfg := DefaultConfig()
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[0] = cpu.NewTrace([]cpu.Op{
+		{Kind: cpu.OpStore, Addr: 0x1000},
+		{Kind: cpu.OpLoad, Addr: 0x200000}, // L1 miss, L2 miss: memory read
+		{Kind: cpu.OpStore, Addr: 0x3000},
+		{Kind: cpu.OpStore, Addr: 0x4000},
+	})
+	m, err := NewMachine(cfg, programs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track completion order through the memory controller counts at the
+	// moment the load finishes: run until the core unstalls after the
+	// load. The load is issued at op 2; once Loads==1 and the core is no
+	// longer stalled, only the first store (plus the load) may have
+	// completed.
+	for !m.Done() {
+		m.Tick()
+		st := m.Core(0).Stats()
+		if st.Loads == 1 && !m.Core(0).Stalled() && st.Instructions == 2 {
+			if done := m.Bus().Stats(0).Completions; done > 2 {
+				t.Fatalf("load completed after %d transactions; it should bypass queued stores", done)
+			}
+		}
+	}
+}
+
+func TestPortDrainedAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	m := runProgram(t, cfg, []cpu.Op{{Kind: cpu.OpALU, Cycles: 3}})
+	if !m.ports[0].drained() {
+		t.Fatal("port not drained after an ALU-only program")
+	}
+}
+
+func TestRunLimitError(t *testing.T) {
+	cfg := DefaultConfig()
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[0] = cpu.NewTrace([]cpu.Op{{Kind: cpu.OpALU, Cycles: 1000}})
+	m, err := NewMachine(cfg, programs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err == nil {
+		t.Fatal("Run did not report hitting the cycle limit")
+	}
+}
+
+// TestQuickMachineNeverDeadlocks drives random short programs through the
+// full platform under every credit variant and checks the global
+// invariants: the run terminates, budgets never underflow, utilisation is
+// a fraction, and the instruction count matches the program.
+func TestQuickMachineNeverDeadlocks(t *testing.T) {
+	kinds := []CreditKind{CreditOff, CreditCBA, CreditHCBAWeights, CreditHCBACap}
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		src := rng.New(seed)
+		ops := make([]cpu.Op, 0, len(raw))
+		for _, b := range raw {
+			switch b % 4 {
+			case 0:
+				ops = append(ops, cpu.Op{Kind: cpu.OpALU, Cycles: int64(b%7) + 1})
+			case 1:
+				ops = append(ops, cpu.Op{Kind: cpu.OpLoad, Addr: uint64(src.Intn(1 << 20))})
+			case 2:
+				ops = append(ops, cpu.Op{Kind: cpu.OpStore, Addr: uint64(src.Intn(1 << 20))})
+			case 3:
+				ops = append(ops, cpu.Op{Kind: cpu.OpAtomic, Addr: uint64(src.Intn(1 << 12))})
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Credit.Kind = kinds[seed%uint64(len(kinds))]
+		programs := make([]cpu.Program, cfg.Cores)
+		programs[0] = cpu.NewTrace(ops)
+		m, err := NewMachine(cfg, programs, seed)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(3_000_000); err != nil {
+			return false
+		}
+		if m.Credit() != nil && m.Credit().Underflows() != 0 {
+			return false
+		}
+		u := m.Bus().Utilisation()
+		if u < 0 || u > 1 {
+			return false
+		}
+		return m.Core(0).Stats().Instructions == int64(len(ops))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWCETModeNeverDeadlocks does the same against the Table I
+// injectors, which keep the bus saturated for the whole run.
+func TestQuickWCETModeNeverDeadlocks(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		n := int(nOps%40) + 1
+		ops := make([]cpu.Op, 0, n)
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				ops = append(ops, cpu.Op{Kind: cpu.OpLoad, Addr: uint64(i) * 64})
+			} else {
+				ops = append(ops, cpu.Op{Kind: cpu.OpALU, Cycles: 3})
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Credit.Kind = CreditCBA
+		res, err := sim(cfg, ops, seed)
+		if err != nil {
+			return false
+		}
+		return res.TaskCycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sim is a tiny helper for the quick tests.
+func sim(cfg Config, ops []cpu.Op, seed uint64) (Result, error) {
+	return RunMaxContention(cfg, cpu.NewTrace(ops), seed)
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+
+	"creditbus/internal/bus"
+	"creditbus/internal/core"
+	"creditbus/internal/cpu"
+	"creditbus/internal/mem"
+)
+
+// DefaultLimit bounds single runs; generous against the ~10^5..10^6-cycle
+// benchmarks so that only genuine deadlocks hit it.
+const DefaultLimit = 200_000_000
+
+// Result aggregates one run's observables.
+type Result struct {
+	// TaskCycles is the execution time of the task under analysis.
+	TaskCycles int64
+	// WallCycles is the machine cycle count when the run ended.
+	WallCycles int64
+	// CPU is the TuA core's cycle accounting.
+	CPU cpu.Stats
+	// Bus is the TuA master's bus statistics.
+	Bus bus.MasterStats
+	// Utilisation is overall bus occupancy.
+	Utilisation float64
+	// L1HitRate and L2HitRate are the TuA's cache hit rates.
+	L1HitRate, L2HitRate float64
+	// MemCounts is the per-transaction-kind traffic (whole machine).
+	MemCounts map[mem.Kind]int64
+}
+
+func (m *Machine) result(tua int) Result {
+	r := Result{
+		TaskCycles:  m.TaskCycles(tua),
+		WallCycles:  m.cycle,
+		Utilisation: m.sharedBus.Utilisation(),
+		Bus:         m.sharedBus.Stats(tua),
+		MemCounts:   map[mem.Kind]int64{},
+	}
+	if c := m.cores[tua]; c != nil {
+		r.CPU = c.Stats()
+	}
+	if m.l1s[tua] != nil {
+		r.L1HitRate = m.l1s[tua].Stats().HitRate()
+	}
+	if m.l2s[tua] != nil {
+		r.L2HitRate = m.l2s[tua].Stats().HitRate()
+	}
+	for _, k := range mem.Kinds() {
+		r.MemCounts[k] = m.memctl.Count(k)
+	}
+	return r
+}
+
+// RunIsolation executes prog alone on cfg.TuA with every other core idle —
+// the paper's ISO scenario. The configuration's Mode is forced to operation
+// mode (isolation measurements run the deployment configuration).
+func RunIsolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	cfg.Mode = core.OperationMode
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[cfg.TuA] = prog
+	m, err := NewMachine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := m.Run(DefaultLimit); err != nil {
+		return Result{}, err
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// RunMaxContention executes prog on cfg.TuA against Table I contention
+// injectors on every other core — the paper's CON scenario (WCET-estimation
+// mode: contender REQ always set, MaxL holds, COMP gating when CBA is on,
+// TuA budget starting empty).
+func RunMaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	cfg.Mode = core.WCETMode
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[cfg.TuA] = prog
+	m, err := NewMachine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := m.Run(DefaultLimit); err != nil {
+		return Result{}, err
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// RunWorkloads executes one program per core (operation-mode contention,
+// e.g. the §II illustrative scenario with real streaming co-runners) and
+// returns the result for cfg.TuA. Runs until the TuA finishes; co-runners
+// keep generating contention throughout.
+func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, error) {
+	cfg.Mode = core.OperationMode
+	if len(programs) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs %d programs", cfg.Cores)
+	}
+	if programs[cfg.TuA] == nil {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs a program on the TuA core %d", cfg.TuA)
+	}
+	m, err := NewMachine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	tua := m.cores[cfg.TuA]
+	for !tua.Done() {
+		if m.cycle >= DefaultLimit {
+			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
+		}
+		m.Tick()
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// LoopedProgram wraps a trace so that it restarts forever — used for
+// co-runner tasks that must generate contention for the whole run.
+type LoopedProgram struct{ inner cpu.Program }
+
+// NewLooped returns a program that replays inner endlessly.
+func NewLooped(inner cpu.Program) *LoopedProgram { return &LoopedProgram{inner: inner} }
+
+// Next implements cpu.Program.
+func (l *LoopedProgram) Next() (cpu.Op, bool) {
+	op, ok := l.inner.Next()
+	if !ok {
+		l.inner.Reset()
+		op, ok = l.inner.Next()
+		if !ok {
+			return cpu.Op{}, false // empty inner program
+		}
+	}
+	return op, true
+}
+
+// Reset implements cpu.Program.
+func (l *LoopedProgram) Reset() { l.inner.Reset() }

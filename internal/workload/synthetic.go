@@ -1,0 +1,80 @@
+package workload
+
+import "creditbus/internal/cpu"
+
+// Synthetic workloads used by the experiments and examples: the streaming
+// contender and dense short-request task of the paper's §II illustrative
+// example, and an atomic-heavy stressor exercising the unsplittable
+// worst-case transactions that motivate MaxL.
+
+func init() {
+	register(Spec{
+		Name: "stream",
+		Description: "streaming reader: sequential never-reusing loads, every access a " +
+			"28-cycle memory transaction — the §II contender profile",
+		Build: buildStream,
+	})
+	register(Spec{
+		Name: "hitter",
+		Description: "dense short-request task: line-stride loop over 16 KiB (L2-resident, " +
+			"4× L1), almost every load a 5-cycle L2 hit — the §II task-under-analysis profile",
+		Build: buildHitter,
+	})
+	register(Spec{
+		Name: "atomics",
+		Description: "lock-intensive task: periodic atomic read-modify-writes (56-cycle " +
+			"unsplittable transactions) between short critical sections",
+		Build: buildAtomics,
+	})
+}
+
+// buildStream reads sequential lines over an 8 MiB region with minimal
+// processing: after L1/L2 warm-up every load is a clean memory miss holding
+// the bus 28 cycles, saturating it in isolation like the paper's streaming
+// contenders.
+func buildStream(seed uint64) *cpu.Trace {
+	const iters = 8000
+	r := region{base: 0x0b00_0000}
+	var b builder
+	for i := uint64(0); i < iters; i++ {
+		b.load(r.base + i*LineBytes)
+		b.alu(1)
+	}
+	return b.trace()
+}
+
+// buildHitter cycles line-stride loads over 16 KiB: the region is 4× the L1
+// but half the L2 partition, so after one warm-up pass every load misses L1
+// and hits L2 (5-cycle holds). Three ALU cycles between loads give the §II
+// profile of a task spending ~60% of its isolated time on the bus.
+func buildHitter(seed uint64) *cpu.Trace {
+	const (
+		iters   = 20000
+		wsLines = 16 * 1024 / LineBytes
+	)
+	r := region{base: 0x0c00_0000}
+	var b builder
+	for i := uint64(0); i < iters; i++ {
+		b.load(r.base + (i%wsLines)*LineBytes)
+		b.alu(3)
+	}
+	return b.trace()
+}
+
+// buildAtomics alternates short L1-resident critical-section work with an
+// atomic RMW on one of four contended lock words; every atomic holds the bus
+// for the full 56-cycle worst case.
+func buildAtomics(seed uint64) *cpu.Trace {
+	const iters = 700
+	locks := region{base: 0x0d00_0000}
+	data := region{base: 0x0d10_0000}
+	src := stream(seed, 9)
+	var b builder
+	for i := uint64(0); i < iters; i++ {
+		b.atomic(locks.word(uint64(src.Intn(4)) * (LineBytes / WordBytes)))
+		b.load(data.word(i % 128))
+		b.alu(160)
+		b.store(data.word(i % 128))
+	}
+	return b.trace()
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"testing"
+
+	"creditbus/internal/cpu"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"a2time", "aifirf", "atomics", "bitmnp", "cacheb", "canrdr",
+		"hitter", "matrix", "puwmod", "rspeed", "stream", "tblook", "ttsprk",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %d entries", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		s, ok := ByName(n)
+		if !ok || s.Name != n || s.Build == nil || s.Description == "" {
+			t.Errorf("ByName(%q) incomplete: %+v ok=%v", n, s, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName of unknown workload returned ok")
+	}
+}
+
+func TestFigureOneSetOrder(t *testing.T) {
+	set := FigureOneSet()
+	want := []string{"cacheb", "canrdr", "matrix", "tblook"}
+	for i, s := range set {
+		if s.Name != want[i] {
+			t.Fatalf("FigureOneSet[%d] = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		a := s.Build(7)
+		b := s.Build(7)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ (%d vs %d)", name, a.Len(), b.Len())
+		}
+		ao, bo := a.Ops(), b.Ops()
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("%s: op %d differs: %+v vs %+v", name, i, ao[i], bo[i])
+			}
+		}
+	}
+}
+
+func TestBuildersWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		tr := s.Build(1)
+		if tr.Len() < 100 {
+			t.Errorf("%s: only %d ops", name, tr.Len())
+		}
+		for i, op := range tr.Ops() {
+			switch op.Kind {
+			case cpu.OpALU:
+				if op.Cycles < 1 {
+					t.Fatalf("%s op %d: ALU with %d cycles", name, i, op.Cycles)
+				}
+			case cpu.OpLoad, cpu.OpStore, cpu.OpAtomic:
+				if op.Addr%WordBytes != 0 {
+					t.Fatalf("%s op %d: unaligned address %#x", name, i, op.Addr)
+				}
+			default:
+				t.Fatalf("%s op %d: unknown kind %d", name, i, op.Kind)
+			}
+		}
+	}
+}
+
+// opMix summarises a trace: counts and total ALU cycles.
+func opMix(tr *cpu.Trace) (loads, stores, atomics int, aluCycles int64) {
+	for _, op := range tr.Ops() {
+		switch op.Kind {
+		case cpu.OpLoad:
+			loads++
+		case cpu.OpStore:
+			stores++
+		case cpu.OpAtomic:
+			atomics++
+		case cpu.OpALU:
+			aluCycles += op.Cycles
+		}
+	}
+	return
+}
+
+func TestTrafficShapes(t *testing.T) {
+	// The coarse traffic properties each benchmark is designed around; if
+	// a retune breaks these, Figure 1's shape is at risk.
+	get := func(n string) *cpu.Trace {
+		s, ok := ByName(n)
+		if !ok {
+			t.Fatalf("missing workload %s", n)
+		}
+		return s.Build(1)
+	}
+
+	// matrix: load-dense, minimal stores (one per 24-iteration inner
+	// block), no atomics.
+	l, s, a, alu := opMix(get("matrix"))
+	if l < 20000 || s > l/40 || a != 0 {
+		t.Errorf("matrix mix: loads=%d stores=%d atomics=%d", l, s, a)
+	}
+	if perLoad := float64(alu) / float64(l); perLoad < 3 || perLoad > 8 {
+		t.Errorf("matrix ALU per load = %.1f, want 3..8 (density calibration)", perLoad)
+	}
+
+	// cacheb: few ops, heavy ALU blocks, stores present (dirty lines).
+	l, s, _, alu = opMix(get("cacheb"))
+	if s == 0 {
+		t.Error("cacheb must store (dirty evictions)")
+	}
+	if perIter := float64(alu) / float64(l); perIter < 80 {
+		t.Errorf("cacheb ALU per load = %.1f, want ≥ 80 (occupancy under CBA share)", perIter)
+	}
+
+	// tblook: sparse main-table fetches — ALU dominates.
+	l, _, _, alu = opMix(get("tblook"))
+	if perLoad := float64(alu) / float64(l); perLoad < 10 {
+		t.Errorf("tblook ALU per load = %.1f, want ≥ 10 (sparse requests)", perLoad)
+	}
+
+	// stream: pure loads, almost no ALU.
+	l, s, a, alu = opMix(get("stream"))
+	if s != 0 || a != 0 || float64(alu)/float64(l) > 1.5 {
+		t.Errorf("stream mix: loads=%d stores=%d atomics=%d alu/load=%.1f", l, s, a, float64(alu)/float64(l))
+	}
+
+	// atomics: every iteration has an atomic.
+	_, _, a, _ = opMix(get("atomics"))
+	if a < 500 {
+		t.Errorf("atomics workload has only %d atomic ops", a)
+	}
+}
+
+func TestDistinctSeedsChangeRandomWorkloads(t *testing.T) {
+	// Random-pattern workloads must differ across build seeds (the seed is
+	// the program identity); deterministic-pattern ones may not.
+	for _, name := range []string{"cacheb", "tblook", "ttsprk"} {
+		s, _ := ByName(name)
+		a, b := s.Build(1), s.Build(2)
+		same := true
+		ao, bo := a.Ops(), b.Ops()
+		if len(ao) != len(bo) {
+			same = false
+		} else {
+			for i := range ao {
+				if ao[i] != bo[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 give identical traces", name)
+		}
+	}
+}
+
+func TestRegionWordAddressing(t *testing.T) {
+	r := region{base: 0x1000}
+	if got := r.word(0); got != 0x1000 {
+		t.Fatalf("word(0) = %#x", got)
+	}
+	if got := r.word(3); got != 0x1000+3*WordBytes {
+		t.Fatalf("word(3) = %#x", got)
+	}
+}
+
+func TestBuilderMergesALU(t *testing.T) {
+	var b builder
+	b.alu(3)
+	b.alu(4)
+	b.load(64)
+	b.alu(1)
+	tr := b.trace()
+	if tr.Len() != 3 {
+		t.Fatalf("trace length = %d, want 3 (merged ALU)", tr.Len())
+	}
+	if op := tr.Ops()[0]; op.Kind != cpu.OpALU || op.Cycles != 7 {
+		t.Fatalf("merged ALU op = %+v", op)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(Spec{Name: "matrix"})
+}
