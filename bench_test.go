@@ -6,6 +6,7 @@
 package creditbus_test
 
 import (
+	"runtime"
 	"testing"
 
 	"creditbus"
@@ -165,12 +166,44 @@ func BenchmarkWholePlatformCycle(b *testing.B) {
 	cyclesPerRun := res.TaskCycles
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if rs, ok := prog.(interface{ Reset() }); ok {
-			rs.Reset()
-		}
+		prog.Reset()
 		if _, err := creditbus.RunMaxContention(cfg, prog, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(cyclesPerRun), "sim-cycles/run")
+}
+
+// BenchmarkCollectMaxContentionSerial and ...Parallel measure the §III.B
+// measurement campaign without and with the worker-pool engine. The two
+// produce bit-identical sample vectors (see TestCampaignDeterminism); on a
+// multicore host the parallel variant shows near-linear speedup, which is
+// what turns the paper's 1000-run MBPTA campaigns from minutes into
+// seconds.
+func BenchmarkCollectMaxContentionSerial(b *testing.B) { benchCollect(b, 1) }
+
+func BenchmarkCollectMaxContentionParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // exercise the pool even on single-CPU hosts
+	}
+	benchCollect(b, workers)
+}
+
+func benchCollect(b *testing.B, workers int) {
+	cfg := creditbus.DefaultConfig()
+	cfg.Credit.Kind = creditbus.CreditCBA
+	prog, err := creditbus.BuildWorkload("canrdr", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runs = 16
+	c := creditbus.Campaign{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CollectMaxContention(cfg, prog, runs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "sim-runs/s")
 }

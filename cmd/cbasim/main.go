@@ -11,8 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"creditbus"
+	"creditbus/internal/campaign"
+	"creditbus/internal/cpu"
 	"creditbus/internal/mem"
 	"creditbus/internal/report"
 	"creditbus/internal/sim"
@@ -45,6 +48,7 @@ func main() {
 		runs         = flag.Int("runs", 10, "randomised runs")
 		seed         = flag.Uint64("seed", 20170327, "base seed")
 		cores        = flag.Int("cores", 4, "number of cores")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "runs in flight (1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -78,28 +82,45 @@ func main() {
 		fatal(err)
 	}
 
-	var acc stats.Accumulator
-	var last creditbus.Result
-	for r := 0; r < *runs; r++ {
-		if rs, ok := prog.(interface{ Reset() }); ok {
-			rs.Reset()
-		}
-		runSeed := *seed + uint64(r)*0x9e3779b97f4a7c15
-		var res creditbus.Result
-		switch *scenario {
-		case "iso":
-			res, err = creditbus.RunIsolation(cfg, prog, runSeed)
-		case "con":
-			res, err = creditbus.RunMaxContention(cfg, prog, runSeed)
-		default:
-			err = fmt.Errorf("unknown scenario %q", *scenario)
-		}
-		if err != nil {
-			fatal(err)
-		}
-		acc.Add(float64(res.TaskCycles))
-		last = res
+	var run campaign.Scenario
+	switch *scenario {
+	case "iso":
+		run = sim.RunIsolation
+	case "con":
+		run = sim.RunMaxContention
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
 	}
+	spec := campaign.Spec{
+		Config:   cfg,
+		Runs:     *runs,
+		BaseSeed: *seed,
+		Workers:  *parallel,
+	}
+	if _, ok := cpu.TryClone(prog); ok {
+		spec.Build = func(int) cpu.Program {
+			p, _ := cpu.TryClone(prog)
+			return p
+		}
+	} else {
+		// Non-cloneable program: fall back to the serial Reset-per-run
+		// loop, which yields the same samples.
+		spec.Workers = 1
+		spec.Build = func(int) cpu.Program {
+			prog.Reset()
+			return prog
+		}
+	}
+	results, err := spec.Results(run)
+	if err != nil {
+		fatal(err)
+	}
+
+	var acc stats.Accumulator
+	for _, res := range results {
+		acc.Add(float64(res.TaskCycles))
+	}
+	last := results[len(results)-1]
 
 	fmt.Printf("workload=%s policy=%s credit=%s scenario=%s runs=%d\n",
 		*workloadName, *policy, *credit, *scenario, *runs)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"creditbus/internal/exp"
@@ -22,18 +23,39 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all (fig1x = full 10-kernel suite, not in all)")
-		runs  = flag.Int("runs", 30, "randomised runs per configuration (the paper uses 1000)")
-		seed  = flag.Uint64("seed", 0, "base seed (0 = default)")
-		bench = flag.String("mbpta-bench", "matrix", "benchmark for the MBPTA experiment")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		which    = flag.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all (fig1x = full 10-kernel suite, not in all)")
+		runs     = flag.Int("runs", 30, "randomised runs per configuration (the paper uses 1000)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
+		bench    = flag.String("mbpta-bench", "matrix", "benchmark for the MBPTA experiment")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation runs in flight (campaign workers; 1 = serial, results are identical at any setting)")
+		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Runs: *runs, Seed: *seed}
+	opts := exp.Options{Runs: *runs, Seed: *seed, Workers: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	known := map[string]bool{
+		"all": true, "ill": true, "table1": true, "fig1": true, "fig1x": true,
+		"sweep": true, "overhead": true, "mbpta": true, "hcba": true,
+	}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*which, ",") {
-		selected[strings.TrimSpace(s)] = true
+		name := strings.TrimSpace(s)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			fatal(fmt.Errorf("unknown experiment %q (have ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all)", name))
+		}
+		selected[name] = true
 	}
 	all := selected["all"]
 

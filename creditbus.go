@@ -13,7 +13,11 @@
 //     round-robin/FIFO/TDMA/lottery/random-permutations arbitration, and a
 //     fixed-latency memory controller;
 //   - EEMBC-Autobench-like workloads, the paper's WCET-estimation mode
-//     (Table I) and an MBPTA/EVT pipeline for pWCET estimation.
+//     (Table I) and an MBPTA/EVT pipeline for pWCET estimation;
+//   - a deterministic parallel campaign engine: multi-run measurement
+//     protocols (CollectMaxContention, the experiments in cmd/experiments)
+//     fan independent runs out across CPUs and return sample vectors
+//     bit-identical to their serial equivalents.
 //
 // The quickest start:
 //
@@ -30,6 +34,7 @@ package creditbus
 import (
 	"fmt"
 
+	"creditbus/internal/campaign"
 	"creditbus/internal/core"
 	"creditbus/internal/cpu"
 	"creditbus/internal/mbpta"
@@ -151,25 +156,61 @@ func AnalyzeWCET(samples []float64, block int) (PWCET, error) {
 	return mbpta.Analyze(samples, block)
 }
 
+// Campaign tunes multi-run measurement collection. The zero value runs
+// with one worker per schedulable CPU and no progress reporting.
+type Campaign struct {
+	// Workers is the number of simulations in flight; 0 means GOMAXPROCS,
+	// 1 forces the serial path. Parallel campaigns produce bit-identical
+	// sample vectors to serial ones: every run derives its own seed and
+	// builds its own platform, and results are ordered by run index.
+	Workers int
+	// Progress, when non-nil, is called after each completed run with
+	// (done, total), serialised and with done strictly increasing.
+	Progress func(done, total int)
+}
+
 // CollectMaxContention runs a workload under maximum contention `runs`
-// times with derived per-run seeds and returns the execution times — the
-// measurement protocol of §III.B.
-func CollectMaxContention(cfg Config, prog Program, runs int, seed uint64) ([]float64, error) {
+// times with derived per-run seeds and returns the execution times in run
+// order — the measurement protocol of §III.B, fanned out over c.Workers.
+//
+// When prog supports cloning (every Program built by this package does),
+// each run executes an independent instance and runs proceed in parallel;
+// a non-cloneable user Program degrades to the serial Reset-per-run loop,
+// which yields the same samples.
+func (c Campaign) CollectMaxContention(cfg Config, prog Program, runs int, seed uint64) ([]float64, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("creditbus: runs = %d", runs)
 	}
-	out := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		if rs, ok := prog.(interface{ Reset() }); ok {
-			rs.Reset()
-		}
-		res, err := sim.RunMaxContention(cfg, prog, seed+uint64(r)*0x9e3779b97f4a7c15)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, float64(res.TaskCycles))
+	spec := campaign.Spec{
+		Config:   cfg,
+		Runs:     runs,
+		BaseSeed: seed,
+		Workers:  c.Workers,
+		Progress: c.Progress,
 	}
-	return out, nil
+	if _, ok := cpu.TryClone(prog); ok {
+		spec.Build = func(int) Program {
+			p, _ := cpu.TryClone(prog)
+			return p
+		}
+	} else {
+		// No independent instances available: run serially, rewinding the
+		// shared program between runs exactly as the historical loop did.
+		spec.Workers = 1
+		spec.Build = func(int) Program {
+			prog.Reset()
+			return prog
+		}
+	}
+	return spec.MaxContention()
+}
+
+// CollectMaxContention runs a workload under maximum contention `runs`
+// times with derived per-run seeds and returns the execution times — the
+// measurement protocol of §III.B. It parallelises across GOMAXPROCS
+// workers; use a Campaign to control worker count or observe progress.
+func CollectMaxContention(cfg Config, prog Program, runs int, seed uint64) ([]float64, error) {
+	return Campaign{}.CollectMaxContention(cfg, prog, runs, seed)
 }
 
 // CreditArbiter exposes the raw CBA filter for users embedding it in their

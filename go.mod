@@ -1,0 +1,3 @@
+module creditbus
+
+go 1.22

@@ -1,0 +1,43 @@
+package cpu
+
+import "testing"
+
+func TestTraceCloneIndependentCursor(t *testing.T) {
+	base := NewTrace([]Op{
+		{Kind: OpLoad, Addr: 8},
+		{Kind: OpALU, Cycles: 2},
+		{Kind: OpStore, Addr: 16},
+	})
+	// Advance the base before cloning: the clone must start from zero.
+	base.Next()
+	base.Next()
+
+	p, ok := TryClone(base)
+	if !ok {
+		t.Fatal("Trace not cloneable")
+	}
+	clone := p.(*Trace)
+	if clone.Len() != base.Len() {
+		t.Fatalf("clone length %d, want %d", clone.Len(), base.Len())
+	}
+	op, ok := clone.Next()
+	if !ok || op.Kind != OpLoad || op.Addr != 8 {
+		t.Fatalf("clone first op = %+v, want the initial load", op)
+	}
+	// Cursors are independent in both directions.
+	base.Reset()
+	if op, _ := clone.Next(); op.Kind != OpALU {
+		t.Fatalf("clone cursor disturbed by base Reset: %+v", op)
+	}
+}
+
+func TestTryCloneNonCloneable(t *testing.T) {
+	if _, ok := TryClone(nonCloneable{}); ok {
+		t.Fatal("non-cloneable program claimed cloneable")
+	}
+}
+
+type nonCloneable struct{}
+
+func (nonCloneable) Next() (Op, bool) { return Op{}, false }
+func (nonCloneable) Reset()           {}

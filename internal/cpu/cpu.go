@@ -60,6 +60,30 @@ type Program interface {
 	Reset()
 }
 
+// Cloner is implemented by programs that can produce an independent
+// instance of themselves: same operation stream, fresh cursor, no shared
+// mutable state. Parallel measurement campaigns rely on it so that
+// concurrent runs never share a trace position. Clone may return nil when
+// the instance cannot currently be cloned (e.g. a wrapper around a
+// non-cloneable inner program); use TryClone to handle both cases.
+type Cloner interface {
+	Clone() Program
+}
+
+// TryClone returns an independent instance of p, or ok=false when p does
+// not support cloning.
+func TryClone(p Program) (Program, bool) {
+	c, ok := p.(Cloner)
+	if !ok {
+		return nil, false
+	}
+	q := c.Clone()
+	if q == nil {
+		return nil, false
+	}
+	return q, true
+}
+
 // Trace is a replayable Program backed by a slice.
 type Trace struct {
 	ops []Op
@@ -81,6 +105,10 @@ func (t *Trace) Next() (Op, bool) {
 
 // Reset implements Program.
 func (t *Trace) Reset() { t.pos = 0 }
+
+// Clone implements Cloner: the returned Trace shares the (read-only)
+// operation slice and starts at position zero.
+func (t *Trace) Clone() Program { return &Trace{ops: t.ops} }
 
 // Len returns the number of operations.
 func (t *Trace) Len() int { return len(t.ops) }

@@ -20,6 +20,15 @@ type Options struct {
 	// MaxOps truncates workload traces (0 = full length). Tests use this
 	// to keep campaigns fast; reported numbers use full traces.
 	MaxOps int
+	// Workers is the number of simulation runs in flight (0 = GOMAXPROCS,
+	// 1 = serial). Campaign results are bit-identical at any worker count:
+	// every run owns its machine and program instance and results are
+	// aggregated in run order.
+	Workers int
+	// Progress, when non-nil, observes run completion of each campaign the
+	// experiment executes: called serially with (done, total), done
+	// strictly increasing per campaign.
+	Progress func(done, total int)
 }
 
 // withDefaults fills in zero fields.

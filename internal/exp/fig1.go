@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"creditbus/internal/campaign"
+	"creditbus/internal/cpu"
 	"creditbus/internal/sim"
 	"creditbus/internal/stats"
 	"creditbus/internal/workload"
@@ -82,30 +84,56 @@ func Fig1Extended(opts Options) ([]Fig1Row, error) {
 
 func fig1Campaign(opts Options, specs []workload.Spec) ([]Fig1Row, error) {
 	opts = opts.withDefaults()
-	rows := make([]Fig1Row, 0, len(specs))
+	nCfg, nRun := len(Fig1Configs), opts.Runs
 
+	// Resolve the six configurations and build each benchmark's trace once;
+	// every run executes its own clone of the relevant base trace.
+	type setup struct {
+		cfg        sim.Config
+		contention bool
+	}
+	setups := make([]setup, nCfg)
+	for ci, name := range Fig1Configs {
+		cfg, contention, err := fig1Config(name)
+		if err != nil {
+			return nil, err
+		}
+		setups[ci] = setup{cfg: cfg, contention: contention}
+	}
+	bases := make([]*cpu.Trace, len(specs))
 	for bi, spec := range specs {
-		trace := opts.trim(spec.Build(1))
+		bases[bi] = opts.trim(spec.Build(1))
+	}
+
+	// One flat job grid — benchmark-major, then configuration, then run,
+	// matching the historical nested loop so that seeds and aggregation
+	// order (and therefore every reported digit) are unchanged.
+	jobs := len(specs) * nCfg * nRun
+	samples, err := campaign.Run(jobs, opts.Workers, opts.Progress, func(j int) (float64, error) {
+		bi, ci, r := j/(nCfg*nRun), (j/nRun)%nCfg, j%nRun
+		seed := opts.runSeed(bi*nCfg+ci, r)
+		prog := bases[bi].Clone()
+		scenario := sim.RunIsolation
+		if setups[ci].contention {
+			scenario = sim.RunMaxContention
+		}
+		res, err := scenario(setups[ci].cfg, prog, seed)
+		if err != nil {
+			return 0, fmt.Errorf("exp: %s/%s run %d: %w", specs[bi].Name, Fig1Configs[ci], r, err)
+		}
+		return float64(res.TaskCycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig1Row, 0, len(specs))
+	for bi, spec := range specs {
 		means := map[string]*stats.Accumulator{}
 		for ci, cfgName := range Fig1Configs {
-			cfg, contention, err := fig1Config(cfgName)
-			if err != nil {
-				return nil, err
-			}
 			acc := &stats.Accumulator{}
-			for r := 0; r < opts.Runs; r++ {
-				seed := opts.runSeed(bi*len(Fig1Configs)+ci, r)
-				trace.Reset()
-				var res sim.Result
-				if contention {
-					res, err = sim.RunMaxContention(cfg, trace, seed)
-				} else {
-					res, err = sim.RunIsolation(cfg, trace, seed)
-				}
-				if err != nil {
-					return nil, fmt.Errorf("exp: %s/%s run %d: %w", spec.Name, cfgName, r, err)
-				}
-				acc.Add(float64(res.TaskCycles))
+			for r := 0; r < nRun; r++ {
+				acc.Add(samples[(bi*nCfg+ci)*nRun+r])
 			}
 			means[cfgName] = acc
 		}

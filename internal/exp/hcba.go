@@ -3,6 +3,7 @@ package exp
 import (
 	"creditbus/internal/arbiter"
 	"creditbus/internal/bus"
+	"creditbus/internal/campaign"
 	"creditbus/internal/core"
 	"creditbus/internal/trace"
 )
@@ -143,11 +144,17 @@ func hcbaScenario(variant string, seed uint64) HCBAResult {
 	return res
 }
 
-// HCBAAblation runs both §III.A variants on the bursty scenario.
+// HCBAAblation runs both §III.A variants on the bursty scenario. The two
+// variants are independent simulations and run concurrently when
+// opts.Workers permits.
 func HCBAAblation(opts Options) []HCBAResult {
 	opts = opts.withDefaults()
-	return []HCBAResult{
-		hcbaScenario("weights", opts.runSeed(2000, 0)),
-		hcbaScenario("cap", opts.runSeed(2001, 0)),
+	variants := []string{"weights", "cap"}
+	out, err := campaign.Run(len(variants), opts.Workers, opts.Progress, func(i int) (HCBAResult, error) {
+		return hcbaScenario(variants[i], opts.runSeed(2000+i, 0)), nil
+	})
+	if err != nil {
+		panic(err) // unreachable: scenario jobs never return an error
 	}
+	return out
 }

@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"creditbus/internal/campaign"
+	"creditbus/internal/cpu"
 	"creditbus/internal/mbpta"
 	"creditbus/internal/sim"
 	"creditbus/internal/workload"
@@ -41,16 +43,14 @@ func MBPTAExperiment(opts Options, benchmark string) (MBPTAResult, error) {
 		if withCBA {
 			cfg.Credit.Kind = sim.CreditCBA
 		}
-		xs := make([]float64, 0, opts.Runs)
-		for r := 0; r < opts.Runs; r++ {
-			trace.Reset()
-			res, err := sim.RunMaxContention(cfg, trace, opts.runSeed(1000+cfgIdx, r))
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, float64(res.TaskCycles))
-		}
-		return xs, nil
+		return campaign.Spec{
+			Config:   cfg,
+			Build:    func(int) cpu.Program { return trace.Clone() },
+			Runs:     opts.Runs,
+			Seed:     func(r int) uint64 { return opts.runSeed(1000+cfgIdx, r) },
+			Workers:  opts.Workers,
+			Progress: opts.Progress,
+		}.MaxContention()
 	}
 
 	rpSamples, err := collect(false, 0)

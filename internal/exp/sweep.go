@@ -3,6 +3,7 @@ package exp
 import (
 	"creditbus/internal/arbiter"
 	"creditbus/internal/bus"
+	"creditbus/internal/campaign"
 	"creditbus/internal/core"
 )
 
@@ -66,18 +67,29 @@ func sweepRun(policyName string, contenderHold int64, seed uint64, contenders bo
 	return float64(b.Stats(0).Completions)
 }
 
-// Sweep runs the contender-length sweep over holds 7..56.
+// Sweep runs the contender-length sweep over holds 7..56. Grid points are
+// independent (each builds its own bus), so they fan out across
+// opts.Workers.
 func Sweep(opts Options) []SweepPoint {
 	opts = opts.withDefaults()
 	holds := []int64{7, 14, 28, 42, 56}
+	nPol := len(SweepPolicies)
+	slowdowns, err := campaign.Run(len(holds)*nPol, opts.Workers, opts.Progress, func(j int) (float64, error) {
+		hi, pi := j/nPol, j%nPol
+		h, p := holds[hi], SweepPolicies[pi]
+		seed := opts.runSeed(hi*nPol+pi, 0)
+		iso := sweepRun(p, h, seed, false)
+		con := sweepRun(p, h, seed+1, true)
+		return iso / con, nil
+	})
+	if err != nil {
+		panic(err) // unreachable: grid jobs never return an error
+	}
 	out := make([]SweepPoint, 0, len(holds))
 	for hi, h := range holds {
 		pt := SweepPoint{ContenderHold: h, Slowdown: map[string]float64{}}
 		for pi, p := range SweepPolicies {
-			seed := opts.runSeed(hi*len(SweepPolicies)+pi, 0)
-			iso := sweepRun(p, h, seed, false)
-			con := sweepRun(p, h, seed+1, true)
-			pt.Slowdown[p] = iso / con
+			pt.Slowdown[p] = slowdowns[hi*nPol+pi]
 		}
 		out = append(out, pt)
 	}

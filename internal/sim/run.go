@@ -89,10 +89,25 @@ func RunMaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error)
 	return m.result(cfg.TuA), nil
 }
 
+// emptyProgram reports whether p yields no operations. The probe consumes
+// one operation and rewinds, which the Program contract makes lossless.
+func emptyProgram(p cpu.Program) bool {
+	p.Reset()
+	_, ok := p.Next()
+	p.Reset()
+	return !ok
+}
+
 // RunWorkloads executes one program per core (operation-mode contention,
 // e.g. the §II illustrative scenario with real streaming co-runners) and
 // returns the result for cfg.TuA. Runs until the TuA finishes; co-runners
 // keep generating contention throughout.
+//
+// Every non-nil program must yield at least one operation: an empty
+// program — in particular an empty trace wrapped in NewLooped, whose Next
+// returns false forever — cannot generate the contention the scenario
+// asks for, so it is rejected up front with a clear error instead of
+// silently producing a contention-free (or deadlock-guarded) run.
 func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, error) {
 	cfg.Mode = core.OperationMode
 	if len(programs) != cfg.Cores {
@@ -100,6 +115,14 @@ func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, erro
 	}
 	if programs[cfg.TuA] == nil {
 		return Result{}, fmt.Errorf("sim: RunWorkloads needs a program on the TuA core %d", cfg.TuA)
+	}
+	for i, p := range programs {
+		if p == nil {
+			continue
+		}
+		if emptyProgram(p) {
+			return Result{}, fmt.Errorf("sim: RunWorkloads: program on core %d is empty", i)
+		}
 	}
 	m, err := NewMachine(cfg, programs, seed)
 	if err != nil {
@@ -137,3 +160,13 @@ func (l *LoopedProgram) Next() (cpu.Op, bool) {
 
 // Reset implements cpu.Program.
 func (l *LoopedProgram) Reset() { l.inner.Reset() }
+
+// Clone implements cpu.Cloner when the inner program does; it returns nil
+// (meaning "not cloneable", see cpu.TryClone) otherwise.
+func (l *LoopedProgram) Clone() cpu.Program {
+	inner, ok := cpu.TryClone(l.inner)
+	if !ok {
+		return nil
+	}
+	return &LoopedProgram{inner: inner}
+}
