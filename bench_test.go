@@ -175,24 +175,31 @@ func BenchmarkWholePlatformCycle(b *testing.B) {
 }
 
 // BenchmarkCollectMaxContentionSerial and ...Parallel measure the §III.B
-// measurement campaign without and with the worker-pool engine. The two
-// produce bit-identical sample vectors (see TestCampaignDeterminism); on a
-// multicore host the parallel variant shows near-linear speedup, which is
-// what turns the paper's 1000-run MBPTA campaigns from minutes into
-// seconds.
-func BenchmarkCollectMaxContentionSerial(b *testing.B) { benchCollect(b, 1) }
+// measurement campaign without and with the worker-pool engine (both on the
+// event-horizon stepping engine, the default). ...PerCycle is the same
+// serial campaign forced onto the per-cycle reference engine: the
+// Serial-vs-PerCycle ratio is the fast path's single-run speedup, tracked
+// in BENCH_sim.json (cmd/simbench). All variants produce bit-identical
+// sample vectors (TestCampaignDeterminism, TestFastPathCollect...); on a
+// multicore host the parallel variant adds near-linear speedup on top,
+// which together turn the paper's 1000-run MBPTA campaigns from minutes
+// into seconds.
+func BenchmarkCollectMaxContentionSerial(b *testing.B) { benchCollect(b, 1, false) }
+
+func BenchmarkCollectMaxContentionPerCycle(b *testing.B) { benchCollect(b, 1, true) }
 
 func BenchmarkCollectMaxContentionParallel(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 2 {
 		workers = 2 // exercise the pool even on single-CPU hosts
 	}
-	benchCollect(b, workers)
+	benchCollect(b, workers, false)
 }
 
-func benchCollect(b *testing.B, workers int) {
+func benchCollect(b *testing.B, workers int, perCycle bool) {
 	cfg := creditbus.DefaultConfig()
 	cfg.Credit.Kind = creditbus.CreditCBA
+	cfg.ForcePerCycle = perCycle
 	prog, err := creditbus.BuildWorkload("canrdr", 1)
 	if err != nil {
 		b.Fatal(err)

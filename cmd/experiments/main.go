@@ -8,6 +8,10 @@
 //	experiments                  # run everything with default settings
 //	experiments -exp fig1 -runs 100
 //	experiments -exp ill,sweep
+//
+// Campaigns run on the event-horizon stepping engine (DESIGN.md §6),
+// bit-identical to per-cycle simulation; -fast=false forces the per-cycle
+// reference engine, -parallel N sizes the worker pool.
 package main
 
 import (
@@ -30,10 +34,11 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation runs in flight (campaign workers; 1 = serial, results are identical at any setting)")
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
+		fast     = flag.Bool("fast", true, "event-horizon stepping (bit-identical to per-cycle; -fast=false forces the per-cycle reference engine)")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Runs: *runs, Seed: *seed, Workers: *parallel}
+	opts := exp.Options{Runs: *runs, Seed: *seed, Workers: *parallel, PerCycle: !*fast}
 	if *progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)

@@ -1,0 +1,172 @@
+// Command simbench measures the simulator's hot paths — the per-cycle
+// reference engine vs the event-horizon stepping engine, single-run and at
+// the measurement-campaign level — and writes the results to BENCH_sim.json.
+// The file is committed so the performance trajectory is tracked across PRs;
+// regenerate it on a quiet machine with
+//
+//	go run ./cmd/simbench
+//
+// The scenario is the paper's measurement protocol: canrdr under maximum
+// contention (WCET-estimation mode, Table I injectors) with homogeneous CBA
+// in front of random-permutations arbitration, campaign workers pinned to 1
+// so the numbers isolate the stepping engine from PR 1's worker pool.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"creditbus"
+	"creditbus/internal/sim"
+)
+
+// Engine is one stepping engine's cost in a benchmark scenario.
+type Engine struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	SimCyclesPerOp float64 `json:"sim_cycles_per_op"`
+	SimCyclesPerS  float64 `json:"sim_cycles_per_sec"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// MachineStep drives one never-finishing max-contention machine:
+	// ns_per_op is the cost of one Tick (per-cycle) or one Step (fast);
+	// sim_cycles_per_sec is the headline throughput.
+	MachineStep struct {
+		PerCycle Engine  `json:"per_cycle"`
+		Fast     Engine  `json:"fast"`
+		Speedup  float64 `json:"speedup"`
+	} `json:"machine_step"`
+
+	// CollectMaxContention is the §III.B measurement campaign (canrdr, CBA,
+	// workers=1): ns_per_op is the cost of one full run.
+	CollectMaxContention struct {
+		Workload string  `json:"workload"`
+		Runs     int     `json:"runs"`
+		PerCycle Engine  `json:"per_cycle"`
+		Fast     Engine  `json:"fast"`
+		Speedup  float64 `json:"speedup"`
+	} `json:"collect_max_contention"`
+}
+
+func benchMachine() *sim.Machine {
+	m, err := sim.NewEngineBenchMachine()
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func measureStep(fast bool) Engine {
+	var cycles int64
+	r := testing.Benchmark(func(b *testing.B) {
+		m := benchMachine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fast {
+				m.Step()
+			} else {
+				m.Tick()
+			}
+		}
+		cycles = m.Cycle()
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	perOp := float64(cycles) / float64(r.N)
+	return Engine{
+		NsPerOp:        ns,
+		SimCyclesPerOp: perOp,
+		SimCyclesPerS:  perOp / ns * 1e9,
+	}
+}
+
+func measureCollect(runs int, perCycle bool) Engine {
+	cfg := creditbus.DefaultConfig()
+	cfg.Credit.Kind = creditbus.CreditCBA
+	cfg.ForcePerCycle = perCycle
+	prog, err := creditbus.BuildWorkload("canrdr", 1)
+	if err != nil {
+		fatal(err)
+	}
+	var simCycles float64
+	r := testing.Benchmark(func(b *testing.B) {
+		c := creditbus.Campaign{Workers: 1}
+		simCycles = 0
+		for i := 0; i < b.N; i++ {
+			samples, err := c.CollectMaxContention(cfg, prog, runs, 1)
+			if err != nil {
+				fatal(err)
+			}
+			// Max-contention runs end when the TuA finishes, so the task's
+			// execution time is the run's wall-cycle count.
+			for _, s := range samples {
+				simCycles += s
+			}
+		}
+	})
+	nsPerRun := float64(r.T.Nanoseconds()) / float64(r.N) / float64(runs)
+	cyclesPerRun := simCycles / float64(r.N) / float64(runs)
+	return Engine{
+		NsPerOp:        nsPerRun,
+		SimCyclesPerOp: cyclesPerRun,
+		SimCyclesPerS:  cyclesPerRun / nsPerRun * 1e9,
+	}
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_sim.json", "output file")
+		runs = flag.Int("runs", 16, "campaign runs per CollectMaxContention iteration")
+	)
+	flag.Parse()
+
+	var rep Report
+	rep.GoVersion = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.CPUs = runtime.NumCPU()
+
+	fmt.Fprintln(os.Stderr, "simbench: machine step (per-cycle)...")
+	rep.MachineStep.PerCycle = measureStep(false)
+	fmt.Fprintln(os.Stderr, "simbench: machine step (fast)...")
+	rep.MachineStep.Fast = measureStep(true)
+	rep.MachineStep.Speedup = rep.MachineStep.Fast.SimCyclesPerS / rep.MachineStep.PerCycle.SimCyclesPerS
+
+	fmt.Fprintln(os.Stderr, "simbench: CollectMaxContention (per-cycle)...")
+	rep.CollectMaxContention.Workload = "canrdr"
+	rep.CollectMaxContention.Runs = *runs
+	rep.CollectMaxContention.PerCycle = measureCollect(*runs, true)
+	fmt.Fprintln(os.Stderr, "simbench: CollectMaxContention (fast)...")
+	rep.CollectMaxContention.Fast = measureCollect(*runs, false)
+	rep.CollectMaxContention.Speedup =
+		rep.CollectMaxContention.PerCycle.NsPerOp / rep.CollectMaxContention.Fast.NsPerOp
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine step: %.1fx (%.0f vs %.0f sim-cycles/s)\n",
+		rep.MachineStep.Speedup, rep.MachineStep.Fast.SimCyclesPerS, rep.MachineStep.PerCycle.SimCyclesPerS)
+	fmt.Printf("CollectMaxContention: %.1fx (%.2fms vs %.2fms per run)\n",
+		rep.CollectMaxContention.Speedup,
+		rep.CollectMaxContention.Fast.NsPerOp/1e6, rep.CollectMaxContention.PerCycle.NsPerOp/1e6)
+	fmt.Println("wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

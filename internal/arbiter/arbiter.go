@@ -31,6 +31,17 @@ type Policy interface {
 	Reset()
 }
 
+// Scheduler is optionally implemented by policies that can only grant at
+// particular cycles (TDMA's slot boundaries). NextPickCycle returns the
+// earliest cycle ≥ from at which Pick could return ok=true; between from and
+// that cycle the policy is guaranteed to leave the bus idle and mutate no
+// state, which lets the event-horizon stepping engine skip those cycles.
+// Policies that do not implement Scheduler are work-conserving: they can
+// grant on any cycle with an eligible master.
+type Scheduler interface {
+	NextPickCycle(from int64) int64
+}
+
 // countEligible returns the number of set entries.
 func countEligible(eligible []bool) int {
 	n := 0

@@ -52,6 +52,19 @@ func (t *TDMA) Pick(eligible []bool, cycle int64) (int, bool) {
 	return 0, false
 }
 
+// NextPickCycle implements Scheduler: grants happen only on slot-start
+// cycles, so the earliest possible pick at or after from is the next slot
+// boundary.
+func (t *TDMA) NextPickCycle(from int64) int64 {
+	if from < 0 {
+		return 0
+	}
+	if rem := from % t.slotLen; rem != 0 {
+		return from + t.slotLen - rem
+	}
+	return from
+}
+
 // OnGrant implements Policy; TDMA keeps no grant state.
 func (t *TDMA) OnGrant(int, int64) {}
 

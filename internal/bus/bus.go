@@ -81,6 +81,7 @@ type MasterStats struct {
 type Bus struct {
 	cfg        Config
 	arbLatency int64
+	sched      arbiter.Scheduler // non-nil iff Policy implements Scheduler
 
 	cycle     int64
 	holder    int
@@ -143,6 +144,7 @@ func New(cfg Config) (*Bus, error) {
 		eligible:    make([]bool, cfg.Masters),
 		masterStats: make([]MasterStats, cfg.Masters),
 	}
+	b.sched, _ = cfg.Policy.(arbiter.Scheduler)
 	return b, nil
 }
 
@@ -311,6 +313,126 @@ func (b *Bus) Tick() {
 func (b *Bus) Run(n int64) {
 	for i := int64(0); i < n; i++ {
 		b.Tick()
+	}
+}
+
+// NoEvent is the Horizon sentinel for "no bus-side event without external
+// input": an idle bus whose pending masters can never become arbitrable on
+// their own (typically none pending at all).
+const NoEvent = int64(1<<63 - 1)
+
+// Horizon returns the next cycle at which the bus's externally visible state
+// can change and which must therefore be executed with a full Tick — the
+// completion cycle of the transaction in flight, or, on an idle bus, the
+// first cycle at which some pending master becomes arbitrable AND eligible
+// (visible past the arbitration latency, over its CBA threshold, COMP-gated
+// on) and the policy can pick. Every cycle strictly between Cycle() and the
+// horizon is uneventful: no grant can happen (so randomised policies draw
+// nothing), no completion fires, and only the linear counters move — which
+// is exactly what Advance replays in closed form.
+//
+// The cycle arithmetic mirrors Tick's internal order: arbitration at cycle τ
+// sees budgets after τ−1 credit Ticks (credit updates after arbitration
+// within a Tick), and the COMP latch update at τ runs before arbitration, so
+// a latch that sets at τ enables a grant at τ.
+func (b *Bus) Horizon() int64 {
+	if b.holder >= 0 {
+		return b.cycle + b.remaining
+	}
+	best := NoEvent
+	floor := b.cycle + 1
+	for m := 0; m < b.cfg.Masters; m++ {
+		if !b.pending[m] {
+			continue
+		}
+		t := b.visibleAt[m]
+		if t < floor {
+			t = floor
+		}
+		if b.cfg.Credit != nil {
+			// On an idle bus every budget refills each cycle, so the
+			// eligibility crossing is a fixed future cycle.
+			if k := b.cfg.Credit.CyclesUntilEligible(m); k > 0 {
+				if c := floor + k; c > t {
+					t = c
+				}
+			}
+		}
+		if b.cfg.Signals != nil && !b.cfg.Signals.Competing(m) {
+			// WCET-mode contender whose COMP latch is not set: the latch
+			// needs a saturated budget while the TuA has a request ready.
+			// If the TuA is not even pending, the latch cannot set before
+			// the TuA posts — and posting is a machine-level event that
+			// re-computes horizons — so m contributes no bus event now.
+			tua := b.cfg.Signals.TuA()
+			if !b.pending[tua] {
+				continue
+			}
+			s := b.visibleAt[tua]
+			if k := b.cfg.Credit.CyclesUntilSaturated(m); k > 0 {
+				if c := floor + k; c > s {
+					s = c
+				}
+			}
+			if s > t {
+				t = s
+			}
+		}
+		if b.sched != nil {
+			t = b.sched.NextPickCycle(t)
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Advance replays n uneventful cycles in closed form: occupancy, wait and
+// credit counters move exactly as n Ticks would, but no arbitration,
+// completion, COMP-latch or policy interaction takes place. The caller must
+// guarantee the cycles really are uneventful, i.e. Cycle()+n < Horizon();
+// violating the contract with a transaction in flight panics, because a
+// skipped completion would corrupt the simulation silently.
+//
+// COMP latches are deliberately not advanced: their set condition (budget
+// saturated ∧ TuA request ready) is monotone over an uneventful window —
+// budgets of non-holders only refill and no grant clears anything — so the
+// single Signals.Update of the next full Tick lands the latches in exactly
+// the per-cycle state.
+func (b *Bus) Advance(n int64) {
+	if n <= 0 {
+		if n == 0 {
+			return
+		}
+		panic(fmt.Sprintf("bus: Advance(%d)", n))
+	}
+	if b.holder >= 0 {
+		if n >= b.remaining {
+			panic(fmt.Sprintf("bus: Advance(%d) past completion in %d", n, b.remaining))
+		}
+		b.busyCycles += n
+		b.masterStats[b.holder].HeldCycles += n
+		b.remaining -= n
+	} else {
+		b.idleCycles += n
+	}
+	if b.cfg.Credit != nil {
+		b.cfg.Credit.TickN(b.holder, n)
+	}
+	first := b.cycle + 1
+	b.cycle += n
+	for m := 0; m < b.cfg.Masters; m++ {
+		if !b.pending[m] {
+			continue
+		}
+		from := b.visibleAt[m]
+		if from < first {
+			from = first
+		}
+		if from <= b.cycle {
+			b.masterStats[m].WaitCycles += b.cycle - from + 1
+		}
 	}
 }
 

@@ -1,0 +1,124 @@
+package bus
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"creditbus/internal/arbiter"
+	"creditbus/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden grant traces under testdata/")
+
+// TestGoldenGrantTraces pins one canonical GrantEvent trace per arbitration
+// policy, with and without the CBA filter, byte for byte. Arbitration order
+// is the contract every layer above relies on — execution times, rng draw
+// alignment, the event-horizon engine's bit-identity proof — so a refactor
+// that reorders even one grant must fail here loudly instead of shifting
+// EXPERIMENTS.md numbers silently. Regenerate deliberately with
+//
+//	go test ./internal/bus -run TestGoldenGrantTraces -update
+//
+// and re-validate EXPERIMENTS.md whenever these files change.
+func TestGoldenGrantTraces(t *testing.T) {
+	const (
+		masters = 4
+		maxHold = 56
+		seed    = 42
+		cycles  = 900
+	)
+	// One streaming driver per master: repost whenever the request line is
+	// free, with per-master hold lengths covering the platform's whole
+	// 5..56-cycle transaction range and staggered first requests so
+	// arrival-order policies (FIFO) and slot schedules (TDMA) see distinct
+	// arrival cycles.
+	holds := []int64{5, 28, 56, 10}
+	firstPost := []int64{0, 3, 6, 9}
+
+	policies := map[string]func() arbiter.Policy{
+		"RR":   func() arbiter.Policy { return arbiter.NewRoundRobin(masters) },
+		"FIFO": func() arbiter.Policy { return arbiter.NewFIFO(masters) },
+		"TDMA": func() arbiter.Policy { return arbiter.NewTDMA(masters, maxHold) },
+		"LOT":  func() arbiter.Policy { return arbiter.NewLottery(masters, nil, seed) },
+		"RP":   func() arbiter.Policy { return arbiter.NewRandomPermutation(masters, seed) },
+		"PRI":  func() arbiter.Policy { return arbiter.NewFixedPriority(masters) },
+	}
+
+	for name, build := range policies {
+		for _, cba := range []bool{false, true} {
+			name, build, cba := name, build, cba
+			variant := "nocba"
+			if cba {
+				variant = "cba"
+			}
+			t.Run(name+"/"+variant, func(t *testing.T) {
+				var credit *core.Arbiter
+				if cba {
+					credit = core.MustNew(core.Homogeneous(masters, maxHold))
+				}
+				var trace strings.Builder
+				fmt.Fprintf(&trace, "# policy=%s cba=%v masters=%d maxHold=%d seed=%d cycles=%d\n",
+					name, cba, masters, maxHold, seed, cycles)
+				fmt.Fprintf(&trace, "# holds=%v firstPost=%v\n", holds, firstPost)
+				b := MustNew(Config{
+					Masters: masters,
+					MaxHold: maxHold,
+					Policy:  build(),
+					Credit:  credit,
+					OnGrant: func(e GrantEvent) {
+						fmt.Fprintf(&trace, "cycle=%d master=%d hold=%d wait=%d\n",
+							e.Cycle, e.Master, e.Hold, e.Wait)
+					},
+				})
+				for b.Cycle() < cycles {
+					for m := 0; m < masters; m++ {
+						if b.Cycle() >= firstPost[m] && b.CanPost(m) {
+							b.MustPost(m, Request{Hold: holds[m]})
+						}
+					}
+					b.Tick()
+				}
+
+				path := filepath.Join("testdata", fmt.Sprintf("grants_%s_%s.golden", name, variant))
+				if *updateGolden {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(trace.String()), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to create): %v", err)
+				}
+				if got := trace.String(); got != string(want) {
+					t.Errorf("grant trace changed; diff against %s:\n%s", path, firstDiff(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// firstDiff renders the first diverging line of two traces.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl, gl)
+		}
+	}
+	return "traces identical except length"
+}

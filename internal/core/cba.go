@@ -296,6 +296,80 @@ func (a *Arbiter) Tick(holder int) {
 	}
 }
 
+// TickN applies n consecutive Ticks with a constant holder (or -1 for an
+// idle bus) in closed form: Eq. 1 is a saturating linear refill, so n cycles
+// of it collapse to min(budget + n·w_i, cap) for non-holders and to
+// budget − n·(Scale−w_i) for the holder. The event-horizon stepping engine
+// (sim.Machine.Step) relies on this being bit-identical to calling Tick n
+// times, which holds because the per-cycle trajectory is monotone between
+// the clamps; the one case where it is not — a holder driven below zero,
+// where Tick counts an underflow per clamped cycle — falls back to the
+// per-cycle loop. That case is unreachable from a well-formed bus (holds are
+// bounded by MaxHold and grants require a threshold budget).
+func (a *Arbiter) TickN(holder int, n int64) {
+	if n <= 0 {
+		if n == 0 {
+			return
+		}
+		panic(fmt.Sprintf("core: TickN with n = %d", n))
+	}
+	if holder >= a.masters {
+		panic(fmt.Sprintf("core: TickN holder %d out of range", holder))
+	}
+	if holder >= 0 {
+		net := a.weights[holder] - a.scale // ≤ 0: New enforces Σ weights ≤ Scale
+		if a.budget[holder]+net*n < 0 {
+			for k := int64(0); k < n; k++ {
+				a.Tick(holder)
+			}
+			return
+		}
+	}
+	for i := range a.budget {
+		if i == holder {
+			nb := a.budget[i] + (a.weights[i]-a.scale)*n
+			if nb > a.cap[i] {
+				nb = a.cap[i] // net refill 0 (single master) at a saturated budget
+			}
+			a.budget[i] = nb
+			continue
+		}
+		if a.budget[i] == a.cap[i] {
+			continue // saturated refill is a no-op for non-holders
+		}
+		nb := a.budget[i] + a.weights[i]*n
+		if nb > a.cap[i] || nb < a.budget[i] { // saturate (also guards overflow)
+			nb = a.cap[i]
+		}
+		a.budget[i] = nb
+	}
+}
+
+// CyclesUntilEligible returns how many refill-only cycles master m needs
+// before Eligible(m) becomes true: 0 if it already is, otherwise
+// ceil((threshold − budget)/w_m). "Refill-only" means m does not hold the
+// bus in the meantime (the caller's concern on an idle or otherwise-held
+// bus).
+func (a *Arbiter) CyclesUntilEligible(m int) int64 {
+	return a.cyclesUntil(m, a.threshold[m])
+}
+
+// CyclesUntilSaturated returns how many refill-only cycles master m needs
+// for its budget to reach the saturation cap — the budget half of the
+// Table I COMP latch condition.
+func (a *Arbiter) CyclesUntilSaturated(m int) int64 {
+	return a.cyclesUntil(m, a.cap[m])
+}
+
+func (a *Arbiter) cyclesUntil(m int, level int64) int64 {
+	short := level - a.budget[m]
+	if short <= 0 {
+		return 0
+	}
+	w := a.weights[m]
+	return (short + w - 1) / w
+}
+
 // Eligible reports whether master m currently has enough budget to be
 // arbitrated (budget ≥ eligibility threshold; with the default config the
 // threshold equals the cap, so this is the paper's "budget of exactly

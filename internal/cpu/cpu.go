@@ -140,6 +140,15 @@ type Stats struct {
 
 // Core is one in-order core. Drive it with one Tick per cycle; the memory
 // system unblocks it with Resume.
+//
+// For event-horizon stepping, NextEventIn reports how many cycles of pure
+// ALU burn or stall lie ahead and AdvanceIdle replays them in bulk; both
+// rely on a one-operation lookahead buffer (fetched/buffered/progEnded)
+// that Tick consumes transparently, so mixing bulk and per-cycle driving is
+// safe. The lookahead assumes Programs are oblivious: their operation
+// stream must not depend on when Next is called relative to other
+// simulation activity — true of every Program in this module (replayable
+// traces and loops thereof).
 type Core struct {
 	prog    Program
 	port    Port
@@ -147,6 +156,10 @@ type Core struct {
 	aluLeft int64
 	done    bool
 	stats   Stats
+
+	fetched   bool // buffered holds a prefetched, not-yet-issued operation
+	buffered  Op
+	progEnded bool // prog.Next returned false during lookahead
 }
 
 // NewCore binds a program to a memory port.
@@ -190,7 +203,7 @@ func (c *Core) Tick() {
 		c.stats.ALUCycles++
 		return
 	}
-	op, ok := c.prog.Next()
+	op, ok := c.fetch()
 	if !ok {
 		c.done = true
 		c.stats.Cycles-- // the tick that found program end does not count
@@ -222,6 +235,99 @@ func (c *Core) Tick() {
 	}
 }
 
+// fetch returns the next operation, draining the lookahead buffer first.
+func (c *Core) fetch() (Op, bool) {
+	if c.fetched {
+		c.fetched = false
+		return c.buffered, true
+	}
+	if c.progEnded {
+		return Op{}, false
+	}
+	return c.prog.Next()
+}
+
+// mergeALUBurst is the lookahead: it pre-consumes consecutive OpALU
+// operations into aluLeft (counting their instructions now; their cycles
+// accrue through the burn ticks), parking the first non-ALU operation in the
+// buffer. The accounting is equivalent to consuming each ALU operation at
+// its own tick — total Cycles, ALUCycles and Instructions match, only the
+// intermediate instant at which Instructions increments moves — and the
+// timing of every memory operation and of program completion is unchanged.
+// The accumulation cap bounds the work per call (and keeps an all-ALU looped
+// co-runner from being merged forever); deeper bursts simply merge again at
+// the next event.
+func (c *Core) mergeALUBurst() {
+	const burstCap = 1 << 16
+	for c.aluLeft < burstCap {
+		if !c.fetched {
+			if c.progEnded {
+				return
+			}
+			op, ok := c.prog.Next()
+			if !ok {
+				c.progEnded = true
+				return
+			}
+			c.fetched, c.buffered = true, op
+		}
+		if c.buffered.Kind != OpALU {
+			return
+		}
+		if c.buffered.Cycles < 1 {
+			panic(fmt.Sprintf("cpu: ALU op with %d cycles", c.buffered.Cycles))
+		}
+		c.stats.Instructions++
+		c.aluLeft += c.buffered.Cycles
+		c.fetched = false
+	}
+}
+
+// NoEvent is the NextEventIn sentinel for a core that needs no per-cycle
+// handling until something external (a memory completion) unblocks it.
+const NoEvent = int64(1<<63 - 1)
+
+// NextEventIn returns the number of cycles until this core next does
+// something beyond burning ALU or stall cycles — consuming an operation
+// (possibly issuing a memory access) or detecting program end — or NoEvent
+// for a stalled or finished core. It may pre-consume ALU operations from
+// the program into the internal burst counter (see mergeALUBurst), so it is
+// part of the fast-stepping machinery, not a pure observer.
+func (c *Core) NextEventIn() int64 {
+	if c.done || c.stalled {
+		return NoEvent
+	}
+	c.mergeALUBurst()
+	return c.aluLeft + 1
+}
+
+// AdvanceIdle replays n uneventful cycles in bulk: stall cycles for a
+// stalled core, ALU burn for a running one, nothing for a finished one —
+// exactly what n Ticks would do. The caller must keep n within the window
+// NextEventIn promised; overrunning an ALU burst panics because a skipped
+// operation issue would silently corrupt the simulation.
+func (c *Core) AdvanceIdle(n int64) {
+	if n <= 0 {
+		if n == 0 {
+			return
+		}
+		panic(fmt.Sprintf("cpu: AdvanceIdle(%d)", n))
+	}
+	switch {
+	case c.done:
+	case c.stalled:
+		c.stats.Cycles += n
+		c.stats.StallCycles += n
+	default:
+		if n > c.aluLeft {
+			panic(fmt.Sprintf("cpu: AdvanceIdle(%d) past ALU burst of %d", n, c.aluLeft))
+		}
+		c.stats.Cycles += n
+		c.stats.ALUCycles += n
+		c.aluLeft -= n
+	}
+}
+
 // Reset rewinds the program and clears all state and counters.
 func (c *Core) Reset() {
 	c.prog.Reset()
@@ -229,4 +335,7 @@ func (c *Core) Reset() {
 	c.aluLeft = 0
 	c.done = false
 	c.stats = Stats{}
+	c.fetched = false
+	c.buffered = Op{}
+	c.progEnded = false
 }

@@ -29,6 +29,11 @@ type Options struct {
 	// experiment executes: called serially with (done, total), done
 	// strictly increasing per campaign.
 	Progress func(done, total int)
+	// PerCycle forces the per-cycle reference stepping engine for every
+	// simulation the experiment runs. The default — false — uses
+	// event-horizon stepping, which is bit-identical and several times
+	// faster (see sim.Config.ForcePerCycle).
+	PerCycle bool
 }
 
 // withDefaults fills in zero fields.

@@ -32,9 +32,10 @@ type Fig1Row struct {
 }
 
 // fig1Config maps a configuration name to the platform setup and scenario.
-func fig1Config(name string) (sim.Config, bool, error) {
+func fig1Config(name string, opts Options) (sim.Config, bool, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Policy = sim.PolicyRandomPerm
+	cfg.ForcePerCycle = opts.PerCycle
 	contention := false
 	switch name {
 	case "RP-ISO":
@@ -94,7 +95,7 @@ func fig1Campaign(opts Options, specs []workload.Spec) ([]Fig1Row, error) {
 	}
 	setups := make([]setup, nCfg)
 	for ci, name := range Fig1Configs {
-		cfg, contention, err := fig1Config(name)
+		cfg, contention, err := fig1Config(name, opts)
 		if err != nil {
 			return nil, err
 		}

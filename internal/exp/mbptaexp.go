@@ -40,6 +40,7 @@ func MBPTAExperiment(opts Options, benchmark string) (MBPTAResult, error) {
 	collect := func(withCBA bool, cfgIdx int) ([]float64, error) {
 		cfg := sim.DefaultConfig()
 		cfg.Policy = sim.PolicyRandomPerm
+		cfg.ForcePerCycle = opts.PerCycle
 		if withCBA {
 			cfg.Credit.Kind = sim.CreditCBA
 		}

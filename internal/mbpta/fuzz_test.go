@@ -1,0 +1,58 @@
+package mbpta
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzAnalyzeWCET drives the full MBPTA pipeline with arbitrary sample
+// vectors — including NaN, ±Inf, denormals, negatives and adversarial
+// magnitude mixes — and asserts the contract: Analyze never panics, rejects
+// non-finite inputs with an error, and any successful fit is itself finite
+// with a positive scale.
+func FuzzAnalyzeWCET(f *testing.F) {
+	seed := func(xs ...float64) []byte {
+		b := make([]byte, 8*len(xs))
+		for i, x := range xs {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+		}
+		return b
+	}
+	f.Add(seed(1, 2, 3, 4, 5, 6, 7, 8), 2)
+	f.Add(seed(100, 101, 99, 250, 103, 97, 104, 250, 96, 105), 1)
+	f.Add(seed(math.NaN(), 1, 2, 3), 2)
+	f.Add(seed(math.Inf(1), math.Inf(-1)), 1)
+	f.Add(seed(), 20)
+	f.Add(seed(1e308, 1e-308, -1e308, 0), 2)
+
+	f.Fuzz(func(t *testing.T, raw []byte, block int) {
+		samples := make([]float64, 0, len(raw)/8)
+		nonFinite := false
+		for i := 0; i+8 <= len(raw); i += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(raw[i:]))
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				nonFinite = true
+			}
+			samples = append(samples, x)
+		}
+
+		a, err := Analyze(samples, block) // must not panic, whatever the input
+		if nonFinite && err == nil {
+			t.Fatalf("Analyze accepted non-finite samples %v", samples)
+		}
+		if err != nil {
+			return
+		}
+		if a.Fit.Sigma <= 0 || math.IsNaN(a.Fit.Sigma) || math.IsInf(a.Fit.Sigma, 0) ||
+			math.IsNaN(a.Fit.Mu) || math.IsInf(a.Fit.Mu, 0) {
+			t.Fatalf("Analyze returned a degenerate fit %+v for %v", a.Fit, samples)
+		}
+		// The tail must be usable: pWCET at the customary probabilities is
+		// finite and monotone in the exceedance probability.
+		p3, p6 := a.PWCET(1e-3), a.PWCET(1e-6)
+		if math.IsNaN(p3) || math.IsNaN(p6) || p6 < p3 {
+			t.Fatalf("pWCET curve broken: p3=%v p6=%v fit=%+v", p3, p6, a.Fit)
+		}
+	})
+}

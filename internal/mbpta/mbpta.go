@@ -164,8 +164,17 @@ type Analysis struct {
 }
 
 // Analyze runs the full pipeline on execution-time samples with the given
-// block size (20 is customary for ~1000-run campaigns).
+// block size (20 is customary for ~1000-run campaigns). Samples must be
+// finite: execution times are cycle counts, so a NaN or ±Inf can only be an
+// upstream bug and is rejected up front rather than laundered through the
+// fit (where an Inf could survive the PWM degeneracy checks and poison the
+// reported quantiles).
 func Analyze(samples []float64, block int) (Analysis, error) {
+	for i, x := range samples {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Analysis{}, fmt.Errorf("mbpta: sample %d is %v; execution times must be finite", i, x)
+		}
+	}
 	maxima, err := BlockMaxima(samples, block)
 	if err != nil {
 		return Analysis{}, err

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// benchMachine is the shared engine-benchmark platform (see
+// NewEngineBenchMachine); the sim-cycles/sec metric is the headline number —
+// it is what bounds campaign wall-clock time at any worker count.
+func benchMachine(b *testing.B) *Machine {
+	b.Helper()
+	m, err := NewEngineBenchMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkMachineStepSlow is the per-cycle reference engine: one Tick per
+// simulated cycle.
+func BenchmarkMachineStepSlow(b *testing.B) {
+	m := benchMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick()
+	}
+	b.ReportMetric(float64(m.Cycle())/b.Elapsed().Seconds(), "sim-cycles/s")
+	b.ReportMetric(1, "sim-cycles/op")
+}
+
+// BenchmarkMachineStepFast is the event-horizon engine: one Step per event,
+// bulk-advancing the uneventful cycles in between. sim-cycles/op is the
+// average event spacing the workload mix exhibits.
+func BenchmarkMachineStepFast(b *testing.B) {
+	m := benchMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	b.ReportMetric(float64(m.Cycle())/b.Elapsed().Seconds(), "sim-cycles/s")
+	b.ReportMetric(float64(m.Cycle())/float64(b.N), "sim-cycles/op")
+}

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"fmt"
+
+	"creditbus/internal/core"
+	"creditbus/internal/cpu"
+	"creditbus/internal/workload"
+)
+
+// NewEngineBenchMachine builds the canonical engine-benchmark platform: the
+// paper's measurement scenario — WCET-estimation mode, a looped canrdr
+// kernel as the task under analysis against Table I contention injectors,
+// homogeneous CBA in front of random-permutations arbitration. The machine
+// never finishes, so either stepping engine can be driven indefinitely and
+// their cost per simulated cycle compared directly. It is the single
+// definition shared by BenchmarkMachineStep{Slow,Fast} and cmd/simbench, so
+// BENCH_sim.json and the in-tree benchmarks always measure the same thing.
+func NewEngineBenchMachine() (*Machine, error) {
+	cfg := DefaultConfig()
+	cfg.Credit.Kind = CreditCBA
+	cfg.Mode = core.WCETMode
+	s, ok := workload.ByName("canrdr")
+	if !ok {
+		return nil, fmt.Errorf("sim: missing workload canrdr")
+	}
+	programs := make([]cpu.Program, cfg.Cores)
+	programs[cfg.TuA] = NewLooped(s.Build(1))
+	return NewMachine(cfg, programs, 1)
+}

@@ -85,6 +85,13 @@ type Config struct {
 	// Credit selects the CBA variant.
 	Credit CreditSpec
 
+	// ForcePerCycle disables the event-horizon stepping engine and drives
+	// the machine one Tick per simulated cycle. The two engines are
+	// bit-identical (asserted by the differential suite in this package);
+	// the per-cycle path exists as the reference implementation and for
+	// debugging, so the default — false — is the fast path.
+	ForcePerCycle bool
+
 	// Mode selects operation or WCET-estimation mode (Table I).
 	Mode core.Mode
 	// TuA is the core hosting the task under analysis (WCET mode; also

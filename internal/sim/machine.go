@@ -24,8 +24,10 @@ type Machine struct {
 	signals   *core.Signals
 	memctl    *mem.Controller
 
-	injectors []int // masters driven by WCET-mode contention injectors
+	injectors []int       // masters driven by WCET-mode contention injectors
+	live      []*cpu.Core // non-nil cores, for the fast path's hot loops
 	cycle     int64
+	busNext   int64 // bus horizon recorded by the last nextEventCycle
 }
 
 // NewMachine builds a platform running programs[i] on core i. A nil program
@@ -114,6 +116,7 @@ func NewMachine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, erro
 		p := &port{machine: m, id: i, l1: l1, l2: l2}
 		m.ports[i] = p
 		m.cores[i] = cpu.NewCore(programs[i], p)
+		m.live = append(m.live, m.cores[i])
 	}
 	return m, nil
 }
@@ -175,15 +178,17 @@ func (m *Machine) Tick() {
 	m.sharedBus.Tick()
 }
 
-// Run ticks until Done or until limit cycles, returning the cycle count at
-// completion. It errors if the limit is reached first — a deadlock guard
-// for misconfigured scenarios.
+// Run advances until Done or until limit cycles, returning the cycle count
+// at completion. It errors if the limit is reached first — a deadlock guard
+// for misconfigured scenarios. Stepping is event-horizon (see Step) unless
+// the configuration forces the per-cycle reference engine; the two are
+// bit-identical, including the cycle at which the limit guard trips.
 func (m *Machine) Run(limit int64) (int64, error) {
 	for !m.Done() {
 		if m.cycle >= limit {
 			return m.cycle, fmt.Errorf("sim: limit of %d cycles reached before completion", limit)
 		}
-		m.Tick()
+		m.step(limit)
 	}
 	return m.cycle, nil
 }

@@ -133,7 +133,7 @@ func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, erro
 		if m.cycle >= DefaultLimit {
 			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
 		}
-		m.Tick()
+		m.step(DefaultLimit)
 	}
 	return m.result(cfg.TuA), nil
 }
