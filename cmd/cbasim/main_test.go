@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeSpec is a tiny scenario that runs in milliseconds.
+const smokeSpec = `{
+  "name": "smoke",
+  "credit": {"kind": "cba"},
+  "run": "wcet",
+  "workloads": [
+    {"core": 0, "workload": "canrdr", "ops": 300}
+  ],
+  "seeds": {"list": [3, 4]}
+}`
+
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"matrix", "cacheb", "stream", "burst"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunFlagScenario(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "canrdr", "-credit", "cba", "-scenario", "con",
+		"-runs", "2", "-cores", "2", "-parallel", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"run=wcet", "credit=cba", "tua-workload=canrdr", "runs=2",
+		"execution time:", "Bus traffic by kind",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunScenarioFileRoundTrip(t *testing.T) {
+	path := writeSpec(t, smokeSpec)
+	var out strings.Builder
+	if err := run([]string{"-scenario", path, "-parallel", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "scenario=smoke") || !strings.Contains(got, "runs=2") {
+		t.Errorf("file scenario not honoured:\n%s", got)
+	}
+
+	// The per-cycle engine must produce identical output (bit-identical
+	// engines — the corpus proves it, the CLI must preserve it).
+	var slow strings.Builder
+	if err := run([]string{"-scenario", path, "-parallel", "1", "-fast=false"}, &slow); err != nil {
+		t.Fatal(err)
+	}
+	if got != slow.String() {
+		t.Errorf("-fast=false changed the output:\nfast:\n%s\nper-cycle:\n%s", got, slow.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown scenario", []string{"-scenario", "warp"}, "unknown scenario"},
+		{"unknown policy", []string{"-policy", "EDF"}, "unknown policy"},
+		{"unknown credit", []string{"-credit", "tokens"}, "unknown credit"},
+		{"unknown workload", []string{"-workload", "dhrystone"}, "unknown workload"},
+		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"missing file", []string{"-scenario", "no/such/file.json"}, "no/such/file.json"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(c.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRunScenarioFileFlagConflict(t *testing.T) {
+	path := writeSpec(t, smokeSpec)
+	var out strings.Builder
+	err := run([]string{"-scenario", path, "-workload", "matrix"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "conflicts with -workload") {
+		t.Fatalf("conflicting flag accepted: %v", err)
+	}
+	// Engine and parallelism flags are overrides, not conflicts.
+	if err := run([]string{"-scenario", path, "-parallel", "2", "-fast"}, &out); err != nil {
+		t.Fatalf("override flags rejected: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"creditbus/internal/scenario"
+)
+
+const smokeSpec = `{
+  "name": "smoke",
+  "credit": {"kind": "cba"},
+  "run": "wcet",
+  "workloads": [
+    {"core": 0, "workload": "canrdr", "ops": 300}
+  ],
+  "seeds": {"list": [3, 4]}
+}`
+
+// corpusFixture writes a one-scenario corpus plus its golden snapshot and
+// returns both directories.
+func corpusFixture(t *testing.T) (corpusDir, goldenDir string) {
+	t.Helper()
+	base := t.TempDir()
+	corpusDir = filepath.Join(base, "corpus")
+	goldenDir = filepath.Join(base, "golden")
+	for _, d := range []string{corpusDir, goldenDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(corpusDir, "smoke.json"), []byte(smokeSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.Parse([]byte(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Results(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(goldenDir, "smoke.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return corpusDir, goldenDir
+}
+
+func TestVerifyPasses(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	var out strings.Builder
+	err := run([]string{"-dir", corpusDir, "-golden", goldenDir, "-verify", "-engines", "both", "-parallel", "1"}, &out)
+	if err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "golden ok") {
+		t.Errorf("status missing:\n%s", out.String())
+	}
+}
+
+func TestVerifyCatchesMismatch(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	path := filepath.Join(goldenDir, "smoke.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"task_cycles": `, `"task_cycles": 1`, 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{"-dir", corpusDir, "-golden", goldenDir, "-verify", "-parallel", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "failure") {
+		t.Fatalf("tampered golden not caught: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "golden mismatch") {
+		t.Errorf("mismatch status missing:\n%s", out.String())
+	}
+}
+
+func TestVerifyCatchesMissingGolden(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	if err := os.Remove(filepath.Join(goldenDir, "smoke.json")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-dir", corpusDir, "-golden", goldenDir, "-verify", "-parallel", "1"}, &out)
+	if err == nil {
+		t.Fatalf("missing golden not caught:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "golden missing") {
+		t.Errorf("missing status not reported:\n%s", out.String())
+	}
+}
+
+func TestRunWithoutVerify(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	var out strings.Builder
+	if err := run([]string{"-dir", corpusDir, "-golden", goldenDir, "-parallel", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 scenarios, 2 simulations") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}
+
+// TestEngineOverrides: both single-engine overrides must verify against
+// the goldens (the engines are bit-identical, so a per-cycle sweep proves
+// the reference engine reproduces the pinned results too).
+func TestEngineOverrides(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	for _, engines := range []string{"spec", "fast", "per-cycle"} {
+		var out strings.Builder
+		err := run([]string{"-dir", corpusDir, "-golden", goldenDir, "-verify",
+			"-engines", engines, "-parallel", "1"}, &out)
+		if err != nil {
+			t.Errorf("-engines %s: %v\n%s", engines, err, out.String())
+		}
+		if !strings.Contains(out.String(), "engines="+engines) {
+			t.Errorf("-engines %s not reported:\n%s", engines, out.String())
+		}
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	corpusDir, goldenDir := corpusFixture(t)
+	var out strings.Builder
+	if err := run([]string{"-engines", "warp"}, &out); err == nil {
+		t.Error("bad -engines accepted")
+	}
+	if err := run([]string{"-dir", corpusDir, "-golden", goldenDir, "-run", "nomatch"}, &out); err == nil {
+		t.Error("empty filter result accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Error("positional args accepted")
+	}
+	if err := run([]string{"-dir", t.TempDir()}, &out); err == nil {
+		t.Error("empty corpus dir accepted")
+	}
+}
+
+// TestBundledCorpusVerifies runs the real committed corpus through the CLI
+// as a local smoke (fast engine only, for speed); CI's dedicated corpus
+// job runs the authoritative `cmd/corpus -verify -engines both` sweep.
+func TestBundledCorpusVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bundled corpus is a full sweep")
+	}
+	root := filepath.Join("..", "..")
+	var out strings.Builder
+	err := run([]string{
+		"-dir", filepath.Join(root, "internal", "scenario", "testdata", "corpus"),
+		"-golden", filepath.Join(root, "internal", "scenario", "testdata", "golden"),
+		"-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bundled corpus failed: %v\n%s", err, out.String())
+	}
+}

@@ -8,44 +8,85 @@
 //	experiments                  # run everything with default settings
 //	experiments -exp fig1 -runs 100
 //	experiments -exp ill,sweep
+//	experiments -scenario s.json # run one declarative scenario instead
 //
 // Campaigns run on the event-horizon stepping engine (DESIGN.md §6),
 // bit-identical to per-cycle simulation; -fast=false forces the per-cycle
-// reference engine, -parallel N sizes the worker pool.
+// reference engine, -parallel N sizes the worker pool. -scenario runs a
+// declarative scenario file (internal/scenario, DESIGN.md §7) through the
+// same campaign machinery and prints its per-seed results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"creditbus/internal/exp"
 	"creditbus/internal/report"
+	"creditbus/internal/scenario"
+	"creditbus/internal/stats"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which    = flag.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all (fig1x = full 10-kernel suite, not in all)")
-		runs     = flag.Int("runs", 30, "randomised runs per configuration (the paper uses 1000)")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
-		bench    = flag.String("mbpta-bench", "matrix", "benchmark for the MBPTA experiment")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation runs in flight (campaign workers; 1 = serial, results are identical at any setting)")
-		progress = flag.Bool("progress", false, "report campaign progress on stderr")
-		fast     = flag.Bool("fast", true, "event-horizon stepping (bit-identical to per-cycle; -fast=false forces the per-cycle reference engine)")
+		which    = fs.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all (fig1x = full 10-kernel suite, not in all)")
+		runs     = fs.Int("runs", 30, "randomised runs per configuration (the paper uses 1000)")
+		seed     = fs.Uint64("seed", 0, "base seed (0 = default)")
+		bench    = fs.String("mbpta-bench", "matrix", "benchmark for the MBPTA experiment")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation runs in flight (campaign workers; 1 = serial, results are identical at any setting)")
+		progress = fs.Bool("progress", false, "report campaign progress on stderr")
+		fast     = fs.Bool("fast", true, "event-horizon stepping (bit-identical to per-cycle; -fast=false forces the per-cycle reference engine)")
+		scen     = fs.String("scenario", "", "run this declarative scenario JSON instead of the named experiments (DESIGN.md §7)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	emit := func(t *report.Table) error {
+		var err error
+		if *csv {
+			err = t.WriteCSV(stdout)
+		} else {
+			err = t.Fprint(stdout)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(stdout)
+		return err
+	}
+
+	if *scen != "" {
+		// The scenario file defines the experiment; flags that would
+		// silently lose to it are conflicts, not overrides (matching
+		// cbasim). -csv/-parallel/-progress/-fast remain applicable.
+		conflicting := map[string]bool{"exp": true, "runs": true, "seed": true, "mbpta-bench": true}
+		conflicts, fastSet := scenario.ScanFlags(fs, conflicting)
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-scenario %s conflicts with %s: the file defines the experiment", *scen, strings.Join(conflicts, ", "))
+		}
+		return runScenario(*scen, *parallel, fastSet, *fast, *progress, stderr, emit)
+	}
 
 	opts := exp.Options{Runs: *runs, Seed: *seed, Workers: *parallel, PerCycle: !*fast}
 	if *progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = progressLine(stderr)
 	}
 	known := map[string]bool{
 		"all": true, "ill": true, "table1": true, "fig1": true, "fig1x": true,
@@ -58,52 +99,116 @@ func main() {
 			continue
 		}
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (have ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all)", name))
+			return fmt.Errorf("unknown experiment %q (have ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all)", name)
 		}
 		selected[name] = true
 	}
 	all := selected["all"]
 
-	emit := func(t *report.Table) {
-		var err error
-		if *csv {
-			err = t.WriteCSV(os.Stdout)
-		} else {
-			err = t.Fprint(os.Stdout)
-		}
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-	}
-
 	if all || selected["ill"] {
-		runIllustrative(emit)
+		if err := runIllustrative(emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["table1"] {
-		runTable1(emit)
+		if err := runTable1(emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["fig1"] {
-		runFig1(opts, emit)
+		if err := runFig1(opts, emit); err != nil {
+			return err
+		}
 	}
 	if selected["fig1x"] {
-		runFig1Extended(opts, emit)
+		if err := runFig1Extended(opts, emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["sweep"] {
-		runSweep(opts, emit)
+		if err := runSweep(opts, emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["overhead"] {
-		runOverhead(emit)
+		if err := runOverhead(emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["mbpta"] {
-		runMBPTA(opts, *bench, emit)
+		if err := runMBPTA(opts, *bench, emit); err != nil {
+			return err
+		}
 	}
 	if all || selected["hcba"] {
-		runHCBA(opts, emit)
+		if err := runHCBA(opts, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progressLine writes \r-updating campaign progress to w.
+func progressLine(w io.Writer) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(w, "\rcampaign: %d/%d runs", done, total)
+		if done == total {
+			fmt.Fprintln(w)
+		}
 	}
 }
 
-func runIllustrative(emit func(*report.Table)) {
+// runScenario executes one declarative scenario through the campaign
+// engine and prints its per-seed results plus summary statistics.
+func runScenario(path string, parallel int, fastSet, fast, progress bool, stderr io.Writer, emit func(*report.Table) error) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	if fastSet {
+		spec.Engine = scenario.EngineForFast(fast)
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	var prog func(done, total int)
+	if progress {
+		prog = progressLine(stderr)
+	}
+	results, err := compiled.Results(parallel, prog)
+	if err != nil {
+		return err
+	}
+
+	title := fmt.Sprintf("EXP-SCN — scenario %s (%s run, TuA core %d)", spec.Name, spec.Run, compiled.TuA())
+	t := report.NewTable(title, "seed", "task cycles", "wall cycles", "bus util", "l1 hit", "l2 hit", "max wait")
+	var acc stats.Accumulator
+	for i, r := range results {
+		acc.Add(float64(r.TaskCycles))
+		t.AddRow(
+			fmt.Sprint(compiled.Seeds[i]),
+			fmt.Sprint(r.TaskCycles),
+			fmt.Sprint(r.WallCycles),
+			fmt.Sprintf("%.3f", r.Utilisation),
+			fmt.Sprintf("%.3f", r.L1HitRate),
+			fmt.Sprintf("%.3f", r.L2HitRate),
+			fmt.Sprint(r.Bus.MaxWait),
+		)
+	}
+	if err := emit(t); err != nil {
+		return err
+	}
+	s := report.NewTable("EXP-SCN — summary", "quantity", "value")
+	s.AddRowf("runs", len(results))
+	s.AddRowf("mean task cycles", fmt.Sprintf("%.0f", acc.Mean()))
+	s.AddRowf("95% CI half-width", fmt.Sprintf("%.0f", acc.CI95HalfWidth()))
+	s.AddRowf("min", fmt.Sprintf("%.0f", acc.Min()))
+	s.AddRowf("max", fmt.Sprintf("%.0f", acc.Max()))
+	return emit(s)
+}
+
+func runIllustrative(emit func(*report.Table) error) error {
 	r := exp.Illustrative()
 	t := report.NewTable(
 		"EXP-ILL — §II illustrative example (TuA: 1000×6-cycle requests, 3 streaming 28-cycle contenders)",
@@ -113,10 +218,10 @@ func runIllustrative(emit func(*report.Table)) {
 	t.AddRowf("round-robin slowdown", exp.PaperRRSlowdown, r.RRSlowdown)
 	t.AddRowf("CBA contention cycles", "28000 (fluid limit)", r.CBACycles)
 	t.AddRowf("CBA slowdown", exp.PaperCBASlowdown, r.CBASlowdown)
-	emit(t)
+	return emit(t)
 }
 
-func runTable1(emit func(*report.Table)) {
+func runTable1(emit func(*report.Table) error) error {
 	// Table I itself is a signal inventory; its semantics are verified by
 	// `go test ./internal/core -run 'TestTableI|TestBudget'`. Here we print
 	// the inventory with the implementation's values.
@@ -128,13 +233,13 @@ func runTable1(emit func(*report.Table)) {
 	t.AddRow("REQ_1", "", "", "when request ready", "when request ready")
 	t.AddRow("REQ_{2,3,4}", "", "", "1 (56-cycle holds)", "when request ready")
 	t.AddRow("¹ paper prints 228 '(56x4)'; 56×4 = 224 — see DESIGN.md", "", "", "", "")
-	emit(t)
+	return emit(t)
 }
 
-func runFig1(opts exp.Options, emit func(*report.Table)) {
+func runFig1(opts exp.Options, emit func(*report.Table) error) error {
 	rows, err := exp.Fig1(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t := report.NewTable(
 		fmt.Sprintf("EXP-F1 — Figure 1: normalised average execution time (%d runs/bar, paper: 1000)", opts.Runs),
@@ -147,7 +252,9 @@ func runFig1(opts exp.Options, emit func(*report.Table)) {
 		}
 		t.AddRow(cells...)
 	}
-	emit(t)
+	if err := emit(t); err != nil {
+		return err
+	}
 
 	s := exp.Summarise(rows)
 	t2 := report.NewTable("EXP-F1 — headline numbers", "quantity", "paper", "measured")
@@ -156,16 +263,16 @@ func runFig1(opts exp.Options, emit func(*report.Table)) {
 	t2.AddRowf("worst H-CBA-CON slowdown", "< CBA-CON", fmt.Sprintf("%.2f", s.MaxHCBACon))
 	t2.AddRowf("average CBA-ISO overhead", "1.03", fmt.Sprintf("%.3f", s.AvgCBAIso))
 	t2.AddRowf("average H-CBA-ISO overhead", "≈1.00", fmt.Sprintf("%.3f", s.AvgHCBAIso))
-	emit(t2)
+	return emit(t2)
 }
 
-func runFig1Extended(opts exp.Options, emit func(*report.Table)) {
+func runFig1Extended(opts exp.Options, emit func(*report.Table) error) error {
 	rows, err := exp.Fig1Extended(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t := report.NewTable(
-		fmt.Sprintf("EXP-F1X — extension: Figure 1 configurations over the full 10-kernel suite (%d runs/bar)", opts.Runs),
+		fmt.Sprintf("EXP-F1X — extension: Figure 1 configurations over the full kernel suite (%d runs/bar)", opts.Runs),
 		append([]string{"benchmark"}, exp.Fig1Configs...)...)
 	for _, row := range rows {
 		cells := []string{row.Benchmark}
@@ -175,10 +282,10 @@ func runFig1Extended(opts exp.Options, emit func(*report.Table)) {
 		}
 		t.AddRow(cells...)
 	}
-	emit(t)
+	return emit(t)
 }
 
-func runSweep(opts exp.Options, emit func(*report.Table)) {
+func runSweep(opts exp.Options, emit func(*report.Table) error) error {
 	pts := exp.Sweep(opts)
 	t := report.NewTable(
 		"EXP-SWEEP — TuA slowdown vs contender request length (§I: slot-fair slowdown is 'virtually unbounded')",
@@ -190,10 +297,10 @@ func runSweep(opts exp.Options, emit func(*report.Table)) {
 		}
 		t.AddRow(cells...)
 	}
-	emit(t)
+	return emit(t)
 }
 
-func runOverhead(emit func(*report.Table)) {
+func runOverhead(emit func(*report.Table) error) error {
 	r := exp.Overhead()
 	t := report.NewTable(
 		"EXP-OVH — implementation overheads (substitute for the paper's FPGA synthesis, see DESIGN.md §2)",
@@ -203,17 +310,17 @@ func runOverhead(emit func(*report.Table)) {
 	t.AddRowf("FPGA occupancy growth", "< 0.1%", "n/a (simulator)")
 	t.AddRowf("bus cycle cost, RP", "—", fmt.Sprintf("%.1f ns", r.NsPerDecision["RP"]))
 	t.AddRowf("bus cycle cost, RP+CBA", "fmax kept at 100 MHz", fmt.Sprintf("%.1f ns", r.NsPerDecision["RP+CBA"]))
-	emit(t)
+	return emit(t)
 }
 
-func runMBPTA(opts exp.Options, bench string, emit func(*report.Table)) {
+func runMBPTA(opts exp.Options, bench string, emit func(*report.Table) error) error {
 	mopts := opts
 	if mopts.Runs < 100 {
 		mopts.Runs = 100 // EVT needs a real campaign
 	}
 	r, err := exp.MBPTAExperiment(mopts, bench)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t := report.NewTable(
 		fmt.Sprintf("EXP-MBPTA — pWCET for %s under maximum contention (%d runs, block %d)",
@@ -226,17 +333,19 @@ func runMBPTA(opts exp.Options, bench string, emit func(*report.Table)) {
 			fmt.Sprintf("%.0f", r.CBACurve[i].WCET),
 		)
 	}
-	emit(t)
+	if err := emit(t); err != nil {
+		return err
+	}
 	t2 := report.NewTable("EXP-MBPTA — diagnostics", "quantity", "RP", "RP+CBA")
 	t2.AddRowf("i.i.d. checks pass", r.RP.IID.Pass(), r.CBA.IID.Pass())
 	t2.AddRowf("lag-1 autocorrelation", r.RP.IID.Lag1, r.CBA.IID.Lag1)
 	t2.AddRowf("KS half-split statistic", r.RP.IID.KS, r.CBA.IID.KS)
 	t2.AddRowf("Gumbel location μ", r.RP.Fit.Mu, r.CBA.Fit.Mu)
 	t2.AddRowf("Gumbel scale σ", r.RP.Fit.Sigma, r.CBA.Fit.Sigma)
-	emit(t2)
+	return emit(t2)
 }
 
-func runHCBA(opts exp.Options, emit func(*report.Table)) {
+func runHCBA(opts exp.Options, emit func(*report.Table) error) error {
 	results := exp.HCBAAblation(opts)
 	t := report.NewTable(
 		"EXP-HCBA — §III.A heterogeneous allocation variants (bursty privileged task vs 3 streamers)",
@@ -249,10 +358,5 @@ func runHCBA(opts exp.Options, emit func(*report.Table)) {
 			fmt.Sprintf("%.3f", r.ContenderShare),
 		)
 	}
-	emit(t)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return emit(t)
 }

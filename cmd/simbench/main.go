@@ -6,6 +6,15 @@
 //
 //	go run ./cmd/simbench
 //
+// CI runs the regression gate instead:
+//
+//	go run ./cmd/simbench -check -baseline BENCH_sim.json
+//
+// which re-measures the engines and fails (non-zero exit, nothing written)
+// if the fast engine's speedup drops below -threshold (default 0.85×) of
+// the recorded baseline — or if the baseline file is missing or malformed,
+// which is an error, never a reason to rewrite it.
+//
 // The scenario is the paper's measurement protocol: canrdr under maximum
 // contention (WCET-estimation mode, Table I injectors) with homogeneous CBA
 // in front of random-permutations arbitration, campaign workers pinned to 1
@@ -13,9 +22,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -58,18 +69,16 @@ type Report struct {
 	} `json:"collect_max_contention"`
 }
 
-func benchMachine() *sim.Machine {
-	m, err := sim.NewEngineBenchMachine()
-	if err != nil {
-		fatal(err)
-	}
-	return m
-}
-
-func measureStep(fast bool) Engine {
+func measureStep(fast bool) (Engine, error) {
 	var cycles int64
+	var buildErr error
 	r := testing.Benchmark(func(b *testing.B) {
-		m := benchMachine()
+		m, err := sim.NewEngineBenchMachine()
+		if err != nil {
+			buildErr = err
+			b.SkipNow()
+			return
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if fast {
@@ -80,31 +89,37 @@ func measureStep(fast bool) Engine {
 		}
 		cycles = m.Cycle()
 	})
+	if buildErr != nil {
+		return Engine{}, buildErr
+	}
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	perOp := float64(cycles) / float64(r.N)
 	return Engine{
 		NsPerOp:        ns,
 		SimCyclesPerOp: perOp,
 		SimCyclesPerS:  perOp / ns * 1e9,
-	}
+	}, nil
 }
 
-func measureCollect(runs int, perCycle bool) Engine {
+func measureCollect(runs int, perCycle bool) (Engine, error) {
 	cfg := creditbus.DefaultConfig()
 	cfg.Credit.Kind = creditbus.CreditCBA
 	cfg.ForcePerCycle = perCycle
 	prog, err := creditbus.BuildWorkload("canrdr", 1)
 	if err != nil {
-		fatal(err)
+		return Engine{}, err
 	}
 	var simCycles float64
+	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		c := creditbus.Campaign{Workers: 1}
 		simCycles = 0
 		for i := 0; i < b.N; i++ {
 			samples, err := c.CollectMaxContention(cfg, prog, runs, 1)
 			if err != nil {
-				fatal(err)
+				runErr = err
+				b.SkipNow()
+				return
 			}
 			// Max-contention runs end when the TuA finishes, so the task's
 			// execution time is the run's wall-cycle count.
@@ -113,60 +128,160 @@ func measureCollect(runs int, perCycle bool) Engine {
 			}
 		}
 	})
+	if runErr != nil {
+		return Engine{}, runErr
+	}
 	nsPerRun := float64(r.T.Nanoseconds()) / float64(r.N) / float64(runs)
 	cyclesPerRun := simCycles / float64(r.N) / float64(runs)
 	return Engine{
 		NsPerOp:        nsPerRun,
 		SimCyclesPerOp: cyclesPerRun,
 		SimCyclesPerS:  cyclesPerRun / nsPerRun * 1e9,
-	}
+	}, nil
 }
 
-func main() {
-	var (
-		out  = flag.String("out", "BENCH_sim.json", "output file")
-		runs = flag.Int("runs", 16, "campaign runs per CollectMaxContention iteration")
-	)
-	flag.Parse()
-
+// measureAll runs the full benchmark suite. Swappable so tests can exercise
+// the gate logic without minutes of benchmarking.
+var measureAll = func(runs int, log io.Writer) (Report, error) {
 	var rep Report
 	rep.GoVersion = runtime.Version()
 	rep.GOOS = runtime.GOOS
 	rep.GOARCH = runtime.GOARCH
 	rep.CPUs = runtime.NumCPU()
 
-	fmt.Fprintln(os.Stderr, "simbench: machine step (per-cycle)...")
-	rep.MachineStep.PerCycle = measureStep(false)
-	fmt.Fprintln(os.Stderr, "simbench: machine step (fast)...")
-	rep.MachineStep.Fast = measureStep(true)
+	fmt.Fprintln(log, "simbench: machine step (per-cycle)...")
+	var err error
+	if rep.MachineStep.PerCycle, err = measureStep(false); err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintln(log, "simbench: machine step (fast)...")
+	if rep.MachineStep.Fast, err = measureStep(true); err != nil {
+		return Report{}, err
+	}
 	rep.MachineStep.Speedup = rep.MachineStep.Fast.SimCyclesPerS / rep.MachineStep.PerCycle.SimCyclesPerS
 
-	fmt.Fprintln(os.Stderr, "simbench: CollectMaxContention (per-cycle)...")
+	fmt.Fprintln(log, "simbench: CollectMaxContention (per-cycle)...")
 	rep.CollectMaxContention.Workload = "canrdr"
-	rep.CollectMaxContention.Runs = *runs
-	rep.CollectMaxContention.PerCycle = measureCollect(*runs, true)
-	fmt.Fprintln(os.Stderr, "simbench: CollectMaxContention (fast)...")
-	rep.CollectMaxContention.Fast = measureCollect(*runs, false)
+	rep.CollectMaxContention.Runs = runs
+	if rep.CollectMaxContention.PerCycle, err = measureCollect(runs, true); err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintln(log, "simbench: CollectMaxContention (fast)...")
+	if rep.CollectMaxContention.Fast, err = measureCollect(runs, false); err != nil {
+		return Report{}, err
+	}
 	rep.CollectMaxContention.Speedup =
 		rep.CollectMaxContention.PerCycle.NsPerOp / rep.CollectMaxContention.Fast.NsPerOp
+	return rep, nil
+}
 
+// loadBaseline reads and strictly decodes a committed BENCH_sim.json. Any
+// problem — missing file, syntax error, unknown field, non-positive
+// speedups — is a hard error: the historical failure mode was silently
+// regenerating the baseline, which turns the regression gate into a no-op.
+func loadBaseline(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("baseline %s: %w (regenerate deliberately with `go run ./cmd/simbench`)", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("baseline %s is malformed: %w", path, err)
+	}
+	if rep.MachineStep.Speedup <= 0 || rep.CollectMaxContention.Speedup <= 0 {
+		return Report{}, fmt.Errorf("baseline %s is malformed: non-positive speedups (%v, %v)",
+			path, rep.MachineStep.Speedup, rep.CollectMaxContention.Speedup)
+	}
+	return rep, nil
+}
+
+// checkAgainst gates the measured report on the baseline: both fast-engine
+// speedups must stay at or above threshold × their recorded values.
+func checkAgainst(baseline, measured Report, threshold float64, stdout io.Writer) error {
+	type gate struct {
+		name      string
+		base, cur float64
+	}
+	gates := []gate{
+		{"machine step speedup", baseline.MachineStep.Speedup, measured.MachineStep.Speedup},
+		{"CollectMaxContention speedup", baseline.CollectMaxContention.Speedup, measured.CollectMaxContention.Speedup},
+	}
+	failed := 0
+	for _, g := range gates {
+		floor := g.base * threshold
+		status := "ok"
+		if g.cur < floor {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-30s baseline %.2fx  measured %.2fx  floor %.2fx  %s\n",
+			g.name, g.base, g.cur, floor, status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d speedup gate(s) below %.2fx of baseline", failed, threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simbench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "BENCH_sim.json", "output file (write mode)")
+		runs      = fs.Int("runs", 16, "campaign runs per CollectMaxContention iteration")
+		check     = fs.Bool("check", false, "regression gate: compare against -baseline instead of writing")
+		baseline  = fs.String("baseline", "BENCH_sim.json", "committed baseline to check against (-check)")
+		threshold = fs.Float64("threshold", 0.85, "minimum acceptable fraction of the baseline speedups (-check)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	if *check {
+		if *threshold <= 0 || *threshold > 1 {
+			return fmt.Errorf("-threshold %v out of range (0, 1]", *threshold)
+		}
+		// Load the baseline before measuring: a broken baseline must fail
+		// in milliseconds, not after a minute of benchmarking.
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		measured, err := measureAll(*runs, stderr)
+		if err != nil {
+			return err
+		}
+		return checkAgainst(base, measured, *threshold, stdout)
+	}
+
+	rep, err := measureAll(*runs, stderr)
+	if err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("machine step: %.1fx (%.0f vs %.0f sim-cycles/s)\n",
+	fmt.Fprintf(stdout, "machine step: %.1fx (%.0f vs %.0f sim-cycles/s)\n",
 		rep.MachineStep.Speedup, rep.MachineStep.Fast.SimCyclesPerS, rep.MachineStep.PerCycle.SimCyclesPerS)
-	fmt.Printf("CollectMaxContention: %.1fx (%.2fms vs %.2fms per run)\n",
+	fmt.Fprintf(stdout, "CollectMaxContention: %.1fx (%.2fms vs %.2fms per run)\n",
 		rep.CollectMaxContention.Speedup,
 		rep.CollectMaxContention.Fast.NsPerOp/1e6, rep.CollectMaxContention.PerCycle.NsPerOp/1e6)
-	fmt.Println("wrote", *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simbench:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout, "wrote", *out)
+	return nil
 }

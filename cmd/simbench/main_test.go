@@ -1,0 +1,182 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubReport builds a Report with the given fast-engine speedups.
+func stubReport(step, collect float64) Report {
+	var r Report
+	r.MachineStep.Speedup = step
+	r.CollectMaxContention.Speedup = collect
+	return r
+}
+
+// stubMeasure replaces the minute-long benchmark suite for gate-logic
+// tests and restores it on cleanup.
+func stubMeasure(t *testing.T, rep Report) {
+	t.Helper()
+	orig := measureAll
+	measureAll = func(runs int, log io.Writer) (Report, error) { return rep, nil }
+	t.Cleanup(func() { measureAll = orig })
+}
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodBaseline = `{
+  "go_version": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 4,
+  "machine_step": {
+    "per_cycle": {"ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
+    "fast": {"ns_per_op": 20, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 5e7},
+    "speedup": 5.0
+  },
+  "collect_max_contention": {
+    "workload": "canrdr", "runs": 16,
+    "per_cycle": {"ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
+    "fast": {"ns_per_op": 20, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 5e7},
+    "speedup": 5.0
+  }
+}`
+
+func TestCheckPassesAtBaseline(t *testing.T) {
+	stubMeasure(t, stubReport(5.0, 5.0))
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err != nil {
+		t.Fatalf("gate failed at baseline speed: %v", err)
+	}
+	if strings.Count(out.String(), " ok") != 2 {
+		t.Errorf("expected two ok gates:\n%s", out.String())
+	}
+}
+
+func TestCheckPassesAboveFloor(t *testing.T) {
+	// 0.9× of baseline is above the default 0.85 floor.
+	stubMeasure(t, stubReport(4.5, 4.5))
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err != nil {
+		t.Fatalf("gate failed above the floor: %v", err)
+	}
+}
+
+func TestCheckFailsBelowFloor(t *testing.T) {
+	// 0.8× of baseline is below the default 0.85 floor.
+	stubMeasure(t, stubReport(4.0, 5.0))
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	err := run([]string{"-check", "-baseline", path}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "below 0.85x") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression row missing:\n%s", out.String())
+	}
+	// A tighter threshold catches the second gate too (4.9 < 5.0×1.0,
+	// where it passed the 0.85 floor above).
+	stubMeasure(t, stubReport(4.0, 4.9))
+	err = run([]string{"-check", "-baseline", path, "-threshold", "1.0"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "2 speedup gate(s)") {
+		t.Fatalf("threshold 1.0 should fail both gates: %v", err)
+	}
+}
+
+func TestCheckRejectsBadBaselines(t *testing.T) {
+	stubMeasure(t, stubReport(5.0, 5.0))
+	cases := []struct {
+		name    string
+		content string
+		want    string
+	}{
+		{"malformed json", `{"machine_step": `, "malformed"},
+		{"unknown field", `{"surprise": 1}`, "malformed"},
+		{"zero speedups", `{"machine_step": {"speedup": 0}, "collect_max_contention": {"speedup": 0}}`, "non-positive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := writeBaseline(t, c.content)
+			var out, errb strings.Builder
+			err := run([]string{"-check", "-baseline", path}, &out, &errb)
+			if err == nil {
+				t.Fatal("bad baseline accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		var out, errb strings.Builder
+		err := run([]string{"-check", "-baseline", filepath.Join(t.TempDir(), "absent.json")}, &out, &errb)
+		if err == nil || !strings.Contains(err.Error(), "regenerate deliberately") {
+			t.Fatalf("missing baseline accepted: %v", err)
+		}
+	})
+}
+
+func TestCheckNeverWrites(t *testing.T) {
+	// Even a failing check must not touch the baseline file — the
+	// historical bug was silently regenerating it.
+	stubMeasure(t, stubReport(1.0, 1.0))
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err == nil {
+		t.Fatal("gate should have failed")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != goodBaseline {
+		t.Error("check mode modified the baseline file")
+	}
+}
+
+func TestCheckThresholdRange(t *testing.T) {
+	stubMeasure(t, stubReport(5.0, 5.0))
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	for _, thr := range []string{"0", "-1", "1.5"} {
+		if err := run([]string{"-check", "-baseline", path, "-threshold", thr}, &out, &errb); err == nil {
+			t.Errorf("threshold %s accepted", thr)
+		}
+	}
+}
+
+func TestWriteMode(t *testing.T) {
+	stubMeasure(t, stubReport(5.0, 6.0))
+	out := filepath.Join(t.TempDir(), "out.json")
+	var stdout, errb strings.Builder
+	if err := run([]string{"-out", out}, &stdout, &errb); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadBaseline(out)
+	if err != nil {
+		t.Fatalf("write mode produced an unloadable baseline: %v", err)
+	}
+	if rep.MachineStep.Speedup != 5.0 || rep.CollectMaxContention.Speedup != 6.0 {
+		t.Errorf("round-trip mismatch: %+v", rep)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("write confirmation missing:\n%s", stdout.String())
+	}
+}
+
+func TestRejectsPositionalArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"extra"}, &out, &errb); err == nil {
+		t.Fatal("positional args accepted")
+	}
+}

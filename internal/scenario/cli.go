@@ -1,0 +1,32 @@
+package scenario
+
+import "flag"
+
+// This file holds the small CLI conventions shared by every command that
+// accepts -scenario file.json (cmd/cbasim, cmd/experiments): which flags
+// were set explicitly, and how a -fast boolean maps onto the schema's
+// engine option. Keeping them here stops the CLIs from drifting apart.
+
+// EngineForFast translates a CLI -fast boolean into the engine option.
+func EngineForFast(fast bool) string {
+	if fast {
+		return EngineFast
+	}
+	return EnginePerCycle
+}
+
+// ScanFlags inspects the explicitly set flags of a parsed FlagSet: it
+// returns the "-name" spellings of those found in conflicting (flags that
+// would silently lose to a scenario file and must be rejected alongside
+// it), and whether the "fast" engine override was set at all.
+func ScanFlags(fs *flag.FlagSet, conflicting map[string]bool) (conflicts []string, fastSet bool) {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "fast" {
+			fastSet = true
+		}
+		if conflicting[f.Name] {
+			conflicts = append(conflicts, "-"+f.Name)
+		}
+	})
+	return conflicts, fastSet
+}

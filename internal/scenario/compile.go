@@ -1,0 +1,253 @@
+package scenario
+
+import (
+	"fmt"
+
+	"creditbus/internal/campaign"
+	"creditbus/internal/cpu"
+	"creditbus/internal/sim"
+	"creditbus/internal/workload"
+)
+
+// config translates the declarative fields into a sim.Config. It assumes a
+// structurally valid spec (Validate enforces the schema rules); sim.Config's
+// own Validate still runs on the result.
+func (s Spec) config() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = s.cores()
+	if p := s.Platform; p != nil {
+		if p.L1Sets > 0 {
+			cfg.L1Sets = p.L1Sets
+		}
+		if p.L1Ways > 0 {
+			cfg.L1Ways = p.L1Ways
+		}
+		if p.L2Sets > 0 {
+			cfg.L2Sets = p.L2Sets
+		}
+		if p.L2Ways > 0 {
+			cfg.L2Ways = p.L2Ways
+		}
+		if p.LineBytes > 0 {
+			cfg.LineBytes = p.LineBytes
+		}
+		if p.StoreBufferDepth > 0 {
+			cfg.StoreBufferDepth = p.StoreBufferDepth
+		}
+		if p.L2HitLatency > 0 {
+			cfg.Latency.L2Hit = p.L2HitLatency
+		}
+		if p.MemLatency > 0 {
+			cfg.Latency.Mem = p.MemLatency
+		}
+	}
+	if pk, err := ParsePolicy(s.Policy); err == nil {
+		cfg.Policy = pk
+	}
+	if s.Policy == "LOT" {
+		if tickets := s.lotteryTickets(cfg.Cores); tickets != nil {
+			cfg.LotteryTickets = tickets
+		}
+	}
+	if c := s.Credit; c != nil {
+		if ck, err := ParseCredit(c.Kind); err == nil {
+			cfg.Credit.Kind = ck
+		}
+		if c.Privileged != nil {
+			cfg.Credit.Privileged = *c.Privileged
+		}
+		cfg.Credit.Num, cfg.Credit.Den = c.Num, c.Den
+		cfg.Credit.CapFactor = c.CapFactor
+	}
+	if tua, err := s.tua(); err == nil {
+		cfg.TuA = tua
+	}
+	cfg.ForcePerCycle = s.Engine == EnginePerCycle
+	return cfg
+}
+
+// lotteryTickets derives per-core ticket counts from workload weights:
+// weightless cores (and cores without workloads — WCET injectors still
+// arbitrate) hold one ticket. Nil when no workload states a weight, which
+// keeps the policy's unweighted default.
+func (s Spec) lotteryTickets(cores int) []int64 {
+	weighted := false
+	tickets := make([]int64, cores)
+	for i := range tickets {
+		tickets[i] = 1
+	}
+	for _, w := range s.Workloads {
+		if w.Weight > 0 {
+			tickets[w.Core] = w.Weight
+			weighted = true
+		}
+	}
+	if !weighted {
+		return nil
+	}
+	return tickets
+}
+
+// Compiled is a validated, executable scenario: the sim.Config, the
+// materialised seed schedule and fresh-program factories for every
+// participating core.
+type Compiled struct {
+	// Spec is the source spec.
+	Spec Spec
+	// Config is the compiled platform configuration (Engine already
+	// applied via ForcePerCycle).
+	Config sim.Config
+	// Seeds is the materialised run-seed schedule.
+	Seeds []uint64
+
+	tua int
+	// protos holds one built program per core (nil = idle). Prototypes
+	// are never executed: Program hands out clones (shared read-only op
+	// slice, fresh cursor), so building the trace happens once per
+	// scenario instead of once per run.
+	protos []cpu.Program
+	// sources remembers each core's Workload entry for the defensive
+	// rebuild path when a prototype is not cloneable.
+	sources []*Workload
+}
+
+// Compile validates the spec and resolves everything executable about it.
+func (s Spec) Compile() (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.config()
+	tua, _ := s.tua()
+	c := &Compiled{
+		Spec:    s,
+		Config:  cfg,
+		Seeds:   s.Seeds.Expand(),
+		tua:     tua,
+		protos:  make([]cpu.Program, cfg.Cores),
+		sources: make([]*Workload, cfg.Cores),
+	}
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		prog, err := buildProgram(w)
+		if err != nil {
+			return nil, err
+		}
+		c.protos[w.Core] = prog
+		c.sources[w.Core] = w
+	}
+	return c, nil
+}
+
+// buildProgram instantiates one Workload entry's program.
+func buildProgram(w *Workload) (cpu.Program, error) {
+	spec, ok := workload.ByName(w.Name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown workload %q", w.Name)
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tr := spec.Build(seed)
+	var prog cpu.Program = tr
+	if w.Ops > 0 && tr.Len() > w.Ops {
+		prog = cpu.NewTrace(tr.Ops()[:w.Ops])
+	}
+	if w.Loop {
+		prog = sim.NewLooped(prog)
+	}
+	return prog, nil
+}
+
+// TuA returns the resolved task-under-analysis core.
+func (c *Compiled) TuA() int { return c.tua }
+
+// Program returns a fresh instance of the program on the given core, or
+// nil for an idle core. Fresh per call: machines consume the program
+// cursor, so parallel runs must never share an instance. The fast path is
+// a clone of the compile-time prototype (every bundled workload clones);
+// a non-cloneable program is rebuilt from its spec entry.
+func (c *Compiled) Program(core int) cpu.Program {
+	if core < 0 || core >= len(c.protos) || c.protos[core] == nil {
+		return nil
+	}
+	if p, ok := cpu.TryClone(c.protos[core]); ok {
+		return p
+	}
+	p, err := buildProgram(c.sources[core])
+	if err != nil {
+		// Unreachable: the entry built once already during Compile.
+		panic(err)
+	}
+	return p
+}
+
+// Programs builds a fresh full per-core program vector.
+func (c *Compiled) Programs() []cpu.Program {
+	out := make([]cpu.Program, len(c.protos))
+	for i := range c.protos {
+		out[i] = c.Program(i)
+	}
+	return out
+}
+
+// RunSeed executes one run on the spec's configured engine.
+func (c *Compiled) RunSeed(seed uint64) (sim.Result, error) {
+	return c.runSeed(c.Config, seed)
+}
+
+// RunSeedEngine executes one run with an explicit engine choice,
+// overriding the spec — the corpus equivalence test drives both engines
+// over every scenario with this.
+func (c *Compiled) RunSeedEngine(seed uint64, perCycle bool) (sim.Result, error) {
+	cfg := c.Config
+	cfg.ForcePerCycle = perCycle
+	return c.runSeed(cfg, seed)
+}
+
+func (c *Compiled) runSeed(cfg sim.Config, seed uint64) (sim.Result, error) {
+	switch c.Spec.Run {
+	case RunIsolation:
+		return sim.RunIsolation(cfg, c.Program(c.tua), seed)
+	case RunWCET:
+		return sim.RunMaxContention(cfg, c.Program(c.tua), seed)
+	case RunWorkloads:
+		return sim.RunWorkloads(cfg, c.Programs(), seed)
+	default:
+		return sim.Result{}, fmt.Errorf("scenario: unknown run kind %q", c.Spec.Run)
+	}
+}
+
+// Results executes the whole seed schedule through the campaign engine and
+// returns per-seed results in schedule order — bit-identical at any worker
+// count, exactly like every other campaign in the module.
+func (c *Compiled) Results(workers int, progress campaign.Progress) ([]sim.Result, error) {
+	return campaign.Run(len(c.Seeds), workers, progress, func(r int) (sim.Result, error) {
+		return c.RunSeed(c.Seeds[r])
+	})
+}
+
+// CampaignSpec adapts an isolation or wcet scenario onto campaign.Spec —
+// the sample-vector protocol the MBPTA pipeline consumes. Returns an error
+// for workloads runs, whose per-core program vector does not fit the
+// single-program campaign scenario shape (use Results instead).
+func (c *Compiled) CampaignSpec(workers int, progress campaign.Progress) (campaign.Spec, campaign.Scenario, error) {
+	var run campaign.Scenario
+	switch c.Spec.Run {
+	case RunIsolation:
+		run = sim.RunIsolation
+	case RunWCET:
+		run = sim.RunMaxContention
+	default:
+		return campaign.Spec{}, nil, fmt.Errorf("scenario: %s runs have no single-program campaign form", c.Spec.Run)
+	}
+	seeds := c.Seeds
+	return campaign.Spec{
+		Config:   c.Config,
+		Build:    func(int) cpu.Program { return c.Program(c.tua) },
+		Runs:     len(seeds),
+		Seed:     func(r int) uint64 { return seeds[r] },
+		Workers:  workers,
+		Progress: progress,
+	}, run, nil
+}

@@ -1,0 +1,493 @@
+// Package scenario is the declarative configuration layer over the
+// simulator: a JSON document describes a complete experiment — platform
+// geometry, arbitration policy, CBA variant, per-core workloads with
+// weights and criticalities, the run kind (isolation, WCET-estimation or
+// operation-mode contention), the stepping engine and the seed schedule —
+// and the package loads, validates and compiles it into the sim.Config,
+// program factories and campaign plumbing the rest of the module executes.
+//
+// The paper's evaluation is a cross product of configurations (policies ×
+// credit kinds × weights × workloads); keeping that cross product in data
+// instead of Go code is what lets the corpus under testdata/corpus/ pin
+// every configuration's result forever (see corpus_test.go) and lets the
+// CLIs accept -scenario file.json. DESIGN.md §7 documents the schema.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"creditbus/internal/campaign"
+	"creditbus/internal/sim"
+	"creditbus/internal/workload"
+)
+
+// Run kinds: how the compiled configuration is executed.
+const (
+	// RunIsolation executes the TuA workload alone (the paper's ISO
+	// scenario).
+	RunIsolation = "isolation"
+	// RunWCET executes the TuA workload against Table I maximum-contention
+	// injectors (WCET-estimation mode).
+	RunWCET = "wcet"
+	// RunWorkloads executes one real program per core (operation-mode
+	// contention); co-runners usually loop.
+	RunWorkloads = "workloads"
+)
+
+// Engine options for Spec.Engine.
+const (
+	// EngineFast is the event-horizon stepping engine (the default).
+	EngineFast = "fast"
+	// EnginePerCycle forces the per-cycle reference engine.
+	EnginePerCycle = "per-cycle"
+)
+
+// Criticality levels for Workload.Criticality. The level is metadata for
+// mixed-criticality pairings with one operational effect: when Spec.TuA is
+// unset, the unique HI-criticality core becomes the task under analysis.
+const (
+	CritHigh = "HI"
+	CritLow  = "LO"
+)
+
+// Platform overrides the default cache geometry and latency model. Zero
+// fields keep sim.DefaultConfig values, so a scenario only states what it
+// changes.
+type Platform struct {
+	L1Sets           int   `json:"l1_sets,omitempty"`
+	L1Ways           int   `json:"l1_ways,omitempty"`
+	L2Sets           int   `json:"l2_sets,omitempty"`
+	L2Ways           int   `json:"l2_ways,omitempty"`
+	LineBytes        int   `json:"line_bytes,omitempty"`
+	StoreBufferDepth int   `json:"store_buffer_depth,omitempty"`
+	L2HitLatency     int64 `json:"l2_hit_latency,omitempty"`
+	MemLatency       int64 `json:"mem_latency,omitempty"`
+}
+
+// Credit selects and parameterises the CBA variant, mirroring
+// sim.CreditSpec with JSON names.
+type Credit struct {
+	// Kind is off, cba, hcba-weights or hcba-cap.
+	Kind string `json:"kind"`
+	// Privileged names the core receiving extra bandwidth (H-CBA
+	// variants); nil defaults to the TuA.
+	Privileged *int `json:"privileged,omitempty"`
+	// Num/Den is the privileged core's share (hcba-weights).
+	Num int64 `json:"num,omitempty"`
+	Den int64 `json:"den,omitempty"`
+	// CapFactor multiplies the privileged budget cap (hcba-cap).
+	CapFactor int64 `json:"cap_factor,omitempty"`
+}
+
+// Workload assigns a program to one core.
+type Workload struct {
+	// Core is the core index the program runs on.
+	Core int `json:"core"`
+	// Name is a bundled workload (see workload.Names).
+	Name string `json:"workload"`
+	// Seed fixes the workload's own randomness — its "binary"; default 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Ops truncates the trace to its first Ops operations (0 = full).
+	Ops int `json:"ops,omitempty"`
+	// Loop replays the trace forever — co-runner tasks that must generate
+	// contention for the whole run. Only meaningful in workloads runs.
+	Loop bool `json:"loop,omitempty"`
+	// Weight is the core's lottery ticket count (policy LOT; default 1).
+	Weight int64 `json:"weight,omitempty"`
+	// Criticality is HI or LO (mixed-criticality pairings). The unique HI
+	// core becomes the TuA when Spec.TuA is unset.
+	Criticality string `json:"criticality,omitempty"`
+}
+
+// Seeds is the run-seed schedule: either an explicit List, or Runs seeds
+// derived as Base + i·Stride (Stride 0 means campaign.SeedStride, the
+// module-wide default schedule).
+type Seeds struct {
+	Base   uint64   `json:"base,omitempty"`
+	Runs   int      `json:"runs,omitempty"`
+	Stride uint64   `json:"stride,omitempty"`
+	List   []uint64 `json:"list,omitempty"`
+}
+
+// Expand materialises the schedule.
+func (s Seeds) Expand() []uint64 {
+	if len(s.List) > 0 {
+		return append([]uint64(nil), s.List...)
+	}
+	runs := s.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = campaign.SeedStride
+	}
+	out := make([]uint64, runs)
+	for i := range out {
+		out[i] = s.Base + uint64(i)*stride
+	}
+	return out
+}
+
+// Spec is one declarative scenario. The zero value is not runnable; decode
+// one from JSON (Load/Parse) or fill the fields and Validate.
+type Spec struct {
+	// Name identifies the scenario; it names the golden snapshot file, so
+	// it must be a valid file stem ([a-zA-Z0-9._-]).
+	Name string `json:"name"`
+	// Description says what the scenario exercises.
+	Description string `json:"description,omitempty"`
+
+	// Cores is the number of cores/bus masters (default 4).
+	Cores int `json:"cores,omitempty"`
+	// Platform optionally overrides cache geometry and latencies.
+	Platform *Platform `json:"platform,omitempty"`
+
+	// Policy is the arbitration policy: RR, FIFO, TDMA, LOT, RP or PRI
+	// (default RP, the paper's MBPTA baseline).
+	Policy string `json:"policy,omitempty"`
+	// Credit selects the CBA variant (default off).
+	Credit *Credit `json:"credit,omitempty"`
+
+	// Run is the run kind: isolation, wcet or workloads.
+	Run string `json:"run"`
+	// TuA is the core under analysis; nil defaults to the unique
+	// HI-criticality core, or 0.
+	TuA *int `json:"tua,omitempty"`
+	// Engine selects the stepping engine: fast (default) or per-cycle.
+	Engine string `json:"engine,omitempty"`
+
+	// Workloads assigns programs to cores. Isolation and wcet runs take
+	// exactly one entry (the TuA); workloads runs take one per
+	// participating core, idle cores omitted.
+	Workloads []Workload `json:"workloads"`
+
+	// Seeds is the run-seed schedule (default: one run, seed Base).
+	Seeds Seeds `json:"seeds"`
+}
+
+// Parse decodes a spec from JSON. Unknown fields are rejected so a typo in
+// a corpus file fails loudly instead of silently running the default.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: parse: trailing data after spec")
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.json spec in dir, sorted by file name, and checks
+// scenario names are unique (they key the golden snapshots).
+func LoadDir(dir string) ([]Spec, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json specs under %s", dir)
+	}
+	sort.Strings(paths)
+	seen := map[string]string{}
+	out := make([]Spec, 0, len(paths))
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: %s: %w", p, err)
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("scenario: duplicate name %q in %s and %s", s.Name, prev, p)
+		}
+		seen[s.Name] = p
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// policyKinds maps the schema's policy names onto sim kinds.
+var policyKinds = map[string]sim.PolicyKind{
+	"RR":   sim.PolicyRoundRobin,
+	"FIFO": sim.PolicyFIFO,
+	"TDMA": sim.PolicyTDMA,
+	"LOT":  sim.PolicyLottery,
+	"RP":   sim.PolicyRandomPerm,
+	"PRI":  sim.PolicyPriority,
+}
+
+// creditKinds maps the schema's credit kinds onto sim kinds.
+var creditKinds = map[string]sim.CreditKind{
+	"off":          sim.CreditOff,
+	"cba":          sim.CreditCBA,
+	"hcba-weights": sim.CreditHCBAWeights,
+	"hcba-cap":     sim.CreditHCBACap,
+}
+
+// PolicyNames lists the schema's policy names, sorted.
+func PolicyNames() []string { return sortedKeys(policyKinds) }
+
+// CreditNames lists the schema's credit kinds, sorted.
+func CreditNames() []string { return sortedKeys(creditKinds) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePolicy resolves a schema policy name.
+func ParsePolicy(name string) (sim.PolicyKind, error) {
+	if name == "" {
+		return sim.PolicyRandomPerm, nil
+	}
+	k, ok := policyKinds[name]
+	if !ok {
+		return "", fmt.Errorf("scenario: unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+	return k, nil
+}
+
+// ParseCredit resolves a schema credit kind.
+func ParseCredit(kind string) (sim.CreditKind, error) {
+	if kind == "" {
+		return sim.CreditOff, nil
+	}
+	k, ok := creditKinds[kind]
+	if !ok {
+		return "", fmt.Errorf("scenario: unknown credit kind %q (have %s)", kind, strings.Join(CreditNames(), ", "))
+	}
+	return k, nil
+}
+
+// validName keeps scenario names usable as golden snapshot file stems.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// cores returns the effective core count.
+func (s Spec) cores() int {
+	if s.Cores > 0 {
+		return s.Cores
+	}
+	return sim.DefaultConfig().Cores
+}
+
+// tua resolves the task-under-analysis core: explicit TuA wins, otherwise
+// the unique HI-criticality workload, otherwise core 0.
+func (s Spec) tua() (int, error) {
+	hi := -1
+	for _, w := range s.Workloads {
+		if w.Criticality != CritHigh {
+			continue
+		}
+		if hi >= 0 {
+			return 0, fmt.Errorf("scenario: cores %d and %d are both HI-criticality; set tua explicitly", hi, w.Core)
+		}
+		hi = w.Core
+	}
+	if s.TuA != nil {
+		if hi >= 0 && hi != *s.TuA {
+			return 0, fmt.Errorf("scenario: tua = %d but core %d is the HI-criticality core", *s.TuA, hi)
+		}
+		return *s.TuA, nil
+	}
+	if hi >= 0 {
+		return hi, nil
+	}
+	return 0, nil
+}
+
+// Validate checks the spec against the schema's semantic rules. Compile
+// calls it; the corpus test calls it on every file.
+func (s Spec) Validate() error {
+	if !validName(s.Name) {
+		return fmt.Errorf("scenario: name %q is not a valid snapshot file stem ([a-zA-Z0-9._-]+)", s.Name)
+	}
+	if s.Cores < 0 {
+		return fmt.Errorf("scenario: cores = %d, need > 0 (or 0 for the default)", s.Cores)
+	}
+	cores := s.cores()
+	if _, err := ParsePolicy(s.Policy); err != nil {
+		return err
+	}
+	creditKind := sim.CreditOff
+	if s.Credit != nil {
+		var err error
+		if creditKind, err = ParseCredit(s.Credit.Kind); err != nil {
+			return err
+		}
+		if p := s.Credit.Privileged; p != nil && (*p < 0 || *p >= cores) {
+			return fmt.Errorf("scenario: credit.privileged = %d out of range [0,%d)", *p, cores)
+		}
+		if s.Credit.Privileged != nil && creditKind != sim.CreditHCBAWeights && creditKind != sim.CreditHCBACap {
+			return fmt.Errorf("scenario: credit.privileged only applies to the hcba-* kinds")
+		}
+		if (s.Credit.Num != 0 || s.Credit.Den != 0) && creditKind != sim.CreditHCBAWeights {
+			return fmt.Errorf("scenario: credit.num/den only apply to kind hcba-weights")
+		}
+		if s.Credit.Num < 0 || s.Credit.Den < 0 {
+			return fmt.Errorf("scenario: credit.num/den = %d/%d must be non-negative", s.Credit.Num, s.Credit.Den)
+		}
+		if (s.Credit.Num == 0) != (s.Credit.Den == 0) {
+			return fmt.Errorf("scenario: credit.num/den = %d/%d: set both or neither", s.Credit.Num, s.Credit.Den)
+		}
+		if s.Credit.Num != 0 && s.Credit.Num >= s.Credit.Den {
+			return fmt.Errorf("scenario: credit.num/den = %d/%d: the privileged share must be < 1", s.Credit.Num, s.Credit.Den)
+		}
+		if s.Credit.CapFactor != 0 && creditKind != sim.CreditHCBACap {
+			return fmt.Errorf("scenario: credit.cap_factor only applies to kind hcba-cap")
+		}
+		if s.Credit.CapFactor < 0 || s.Credit.CapFactor == 1 {
+			return fmt.Errorf("scenario: credit.cap_factor = %d must be 0 (default) or > 1", s.Credit.CapFactor)
+		}
+	}
+
+	switch s.Run {
+	case RunIsolation, RunWCET, RunWorkloads:
+	default:
+		return fmt.Errorf("scenario: run = %q, need %s, %s or %s", s.Run, RunIsolation, RunWCET, RunWorkloads)
+	}
+	switch s.Engine {
+	case "", EngineFast, EnginePerCycle:
+	default:
+		return fmt.Errorf("scenario: engine = %q, need %s or %s", s.Engine, EngineFast, EnginePerCycle)
+	}
+	if s.TuA != nil && (*s.TuA < 0 || *s.TuA >= cores) {
+		return fmt.Errorf("scenario: tua = %d out of range [0,%d)", *s.TuA, cores)
+	}
+
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("scenario: no workloads")
+	}
+	occupied := map[int]bool{}
+	for i, w := range s.Workloads {
+		if w.Core < 0 || w.Core >= cores {
+			return fmt.Errorf("scenario: workloads[%d].core = %d out of range [0,%d)", i, w.Core, cores)
+		}
+		if occupied[w.Core] {
+			return fmt.Errorf("scenario: two workloads on core %d", w.Core)
+		}
+		occupied[w.Core] = true
+		if _, ok := workload.ByName(w.Name); !ok {
+			return fmt.Errorf("scenario: workloads[%d]: unknown workload %q (have %v)", i, w.Name, workload.Names())
+		}
+		if w.Ops < 0 {
+			return fmt.Errorf("scenario: workloads[%d].ops = %d", i, w.Ops)
+		}
+		if w.Weight < 0 {
+			return fmt.Errorf("scenario: workloads[%d].weight = %d", i, w.Weight)
+		}
+		if w.Weight != 0 && s.Policy != "LOT" {
+			return fmt.Errorf("scenario: workloads[%d].weight only applies to policy LOT", i)
+		}
+		switch w.Criticality {
+		case "", CritHigh, CritLow:
+		default:
+			return fmt.Errorf("scenario: workloads[%d].criticality = %q, need %s or %s", i, w.Criticality, CritHigh, CritLow)
+		}
+		if w.Loop && s.Run != RunWorkloads {
+			return fmt.Errorf("scenario: workloads[%d].loop only applies to %s runs", i, RunWorkloads)
+		}
+	}
+
+	tua, err := s.tua()
+	if err != nil {
+		return err
+	}
+	if !occupied[tua] {
+		return fmt.Errorf("scenario: the TuA core %d has no workload", tua)
+	}
+	// sim.CreditSpec.Privileged treats 0 as "unset, default to the TuA",
+	// so an explicit privileged core 0 alongside a different TuA cannot be
+	// expressed — reject it instead of silently privileging the TuA.
+	if s.Credit != nil && s.Credit.Privileged != nil && *s.Credit.Privileged == 0 && tua != 0 {
+		return fmt.Errorf("scenario: credit.privileged = 0 with tua = %d is not expressible (0 means \"the TuA\" downstream); swap the cores", tua)
+	}
+	if s.Run != RunWorkloads && len(s.Workloads) != 1 {
+		return fmt.Errorf("scenario: %s runs take exactly one workload (the TuA); co-runners are synthesised", s.Run)
+	}
+	for i, w := range s.Workloads {
+		if s.Run == RunWorkloads && w.Core == tua && w.Loop {
+			return fmt.Errorf("scenario: workloads[%d]: the TuA must terminate, not loop", i)
+		}
+	}
+
+	if s.Seeds.Runs < 0 {
+		return fmt.Errorf("scenario: seeds.runs = %d", s.Seeds.Runs)
+	}
+	if len(s.Seeds.List) > 0 && (s.Seeds.Base != 0 || s.Seeds.Runs != 0 || s.Seeds.Stride != 0) {
+		return fmt.Errorf("scenario: seeds.list excludes base/runs/stride")
+	}
+
+	if s.Platform != nil {
+		p := s.Platform
+		for _, f := range []struct {
+			name string
+			v    int64
+		}{
+			{"l1_sets", int64(p.L1Sets)}, {"l1_ways", int64(p.L1Ways)},
+			{"l2_sets", int64(p.L2Sets)}, {"l2_ways", int64(p.L2Ways)},
+			{"line_bytes", int64(p.LineBytes)}, {"store_buffer_depth", int64(p.StoreBufferDepth)},
+			{"l2_hit_latency", p.L2HitLatency}, {"mem_latency", p.MemLatency},
+		} {
+			if f.v < 0 {
+				return fmt.Errorf("scenario: platform.%s = %d must be ≥ 0 (0 = default)", f.name, f.v)
+			}
+		}
+	}
+
+	// The remaining cross-field rules (cache geometry, latency sanity)
+	// live in sim.Config.Validate; H-CBA parameter feasibility lives in
+	// sim.Config.CheckCredit, which applies exactly the defaulting the
+	// machine constructor will. Run both here so a bad corpus file fails
+	// at load time, not mid-campaign.
+	cfg := s.config()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.CheckCredit(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}

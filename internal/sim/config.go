@@ -219,3 +219,13 @@ func (c Config) privileged() int {
 	}
 	return c.TuA
 }
+
+// CheckCredit validates the credit configuration by building the arbiter
+// it describes, surfacing H-CBA weight/cap feasibility errors — with
+// exactly the defaulting buildCredit applies at machine-construction time
+// (num/den 1/2, cap factor 2, privileged falling back to the TuA) — without
+// running a simulation. Nil for CreditOff.
+func (c Config) CheckCredit() error {
+	_, err := c.buildCredit()
+	return err
+}

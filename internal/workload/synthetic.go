@@ -21,6 +21,13 @@ func init() {
 		Build: buildHitter,
 	})
 	register(Spec{
+		Name: "burst",
+		Description: "idle-then-burst hitter: ~4k-cycle compute phases punctuated by dense " +
+			"48-load L2-hit bursts — banks credit beyond the eligibility threshold, the " +
+			"§III.A cap-variant target profile",
+		Build: buildBurst,
+	})
+	register(Spec{
 		Name: "atomics",
 		Description: "lock-intensive task: periodic atomic read-modify-writes (56-cycle " +
 			"unsplittable transactions) between short critical sections",
@@ -57,6 +64,34 @@ func buildHitter(seed uint64) *cpu.Trace {
 	for i := uint64(0); i < iters; i++ {
 		b.load(r.base + (i%wsLines)*LineBytes)
 		b.alu(3)
+	}
+	return b.trace()
+}
+
+// buildBurst alternates ~4k-cycle pure-compute phases with bursts of 48
+// line-stride loads over an 8 KiB L2-resident window. The idle phase banks
+// scaled budget up to any raised H-CBA cap (4000 cycles ≫ the quadrupled
+// cap's 896), and the burst is long enough to drain the bank when grants
+// come back to back. Note the cap variants only separate under *partial*
+// contention (operation-mode co-runners that sometimes leave the bus free):
+// under saturated Table I injectors the arbitration throttles the task to
+// its 1/N share, the budget drifts at 1−N·share ≈ 0, and no finite cap is
+// ever exhausted — so cap-ablation scenarios must pair this profile with
+// real co-runners, not WCET-mode injectors.
+func buildBurst(seed uint64) *cpu.Trace {
+	const (
+		bursts   = 40
+		burstLen = 48
+		wsLines  = 8 * 1024 / LineBytes
+	)
+	r := region{base: 0x0e00_0000}
+	var b builder
+	for i := uint64(0); i < bursts; i++ {
+		b.alu(4000)
+		for j := uint64(0); j < burstLen; j++ {
+			b.load(r.base + ((i*burstLen+j)%wsLines)*LineBytes)
+			b.alu(2)
+		}
 	}
 	return b.trace()
 }

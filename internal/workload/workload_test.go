@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"a2time", "aifirf", "atomics", "bitmnp", "cacheb", "canrdr",
+		"a2time", "aifirf", "atomics", "bitmnp", "burst", "cacheb", "canrdr",
 		"hitter", "matrix", "puwmod", "rspeed", "stream", "tblook", "ttsprk",
 	}
 	got := Names()
