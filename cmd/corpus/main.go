@@ -122,15 +122,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Re-group the flat result vector per scenario (jobs preserve corpus
-	// order) and check engine equality when both engines ran.
+	// order) and check engine equality when both engines ran. Failures are
+	// tallied through the shared scenario.Failures protocol, so this gate
+	// and cmd/scenfuzz print and exit identically.
 	perScenario := map[string][]sim.Result{}
-	failures := 0
+	fails := scenario.NewFailures(stdout)
 	for i, j := range jobs {
 		if *engines == "both" && j.perCycle {
 			fast := results[i-1] // the paired fast run precedes it
 			if !reflect.DeepEqual(fast, results[i]) {
-				fmt.Fprintf(stdout, "FAIL %s seed %d: fast engine diverges from per-cycle reference\n", j.spec.Spec.Name, j.seed)
-				failures++
+				fails.Failf("%s seed %d: fast engine diverges from per-cycle reference", j.spec.Spec.Name, j.seed)
 			}
 			continue
 		}
@@ -145,7 +146,7 @@ func run(args []string, stdout io.Writer) error {
 		if *verify {
 			if err := verifySnapshot(c, rs, *golden); err != nil {
 				status = err.Error()
-				failures++
+				fails.Failf("%s: %s", name, status)
 			} else {
 				status = "golden ok"
 			}
@@ -160,10 +161,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "%d scenarios, %d simulations, engines=%s\n", len(compiled), len(jobs), *engines)
-	if failures > 0 {
-		return fmt.Errorf("%d failure(s)", failures)
-	}
-	return nil
+	return fails.Err()
 }
 
 // verifySnapshot diffs a scenario's results against its golden file.

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,30 +23,43 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mbptafit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mbptafit", flag.ContinueOnError)
 	var (
-		file    = flag.String("file", "", "sample file (one execution time per line)")
-		collect = flag.String("collect", "", "collect fresh samples for this workload instead")
-		runs    = flag.Int("runs", 300, "runs for -collect")
-		credit  = flag.String("credit", "off", "CBA variant for -collect: off, cba")
-		block   = flag.Int("block", 0, "block-maxima size (0 = samples/20, clamped to [2,20])")
-		seed    = flag.Uint64("seed", 20170327, "base seed for -collect")
+		file    = fs.String("file", "", "sample file (one execution time per line)")
+		collect = fs.String("collect", "", "collect fresh samples for this workload instead")
+		runs    = fs.Int("runs", 300, "runs for -collect")
+		credit  = fs.String("credit", "off", "CBA variant for -collect: off, cba")
+		block   = fs.Int("block", 0, "block-maxima size (0 = samples/20, clamped to [2,20])")
+		seed    = fs.Uint64("seed", 20170327, "base seed for -collect")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	var samples []float64
 	var err error
 	switch {
 	case *file != "" && *collect != "":
-		fatal(fmt.Errorf("use either -file or -collect, not both"))
+		return fmt.Errorf("use either -file or -collect, not both")
 	case *file != "":
 		samples, err = readSamples(*file)
 	case *collect != "":
 		samples, err = collectSamples(*collect, *credit, *runs, *seed)
 	default:
-		fatal(fmt.Errorf("need -file or -collect; see -h"))
+		return fmt.Errorf("need -file or -collect; see -h")
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	b := *block
@@ -60,23 +74,21 @@ func main() {
 	}
 	an, err := creditbus.AnalyzeWCET(samples, b)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("samples=%d block=%d maxima=%d\n", len(samples), b, len(an.Maxima))
-	fmt.Printf("gumbel fit: mu=%.1f sigma=%.1f\n", an.Fit.Mu, an.Fit.Sigma)
-	fmt.Printf("iid checks: lag1=%.4f (pass=%v)  ks=%.4f (pass=%v)\n",
+	fmt.Fprintf(stdout, "samples=%d block=%d maxima=%d\n", len(samples), b, len(an.Maxima))
+	fmt.Fprintf(stdout, "gumbel fit: mu=%.1f sigma=%.1f\n", an.Fit.Mu, an.Fit.Sigma)
+	fmt.Fprintf(stdout, "iid checks: lag1=%.4f (pass=%v)  ks=%.4f (pass=%v)\n",
 		an.IID.Lag1, an.IID.Lag1Pass, an.IID.KS, an.IID.KSPass)
 	if !an.IID.Pass() {
-		fmt.Println("warning: samples fail the exchangeability diagnostics; the fit is not trustworthy")
+		fmt.Fprintln(stdout, "warning: samples fail the exchangeability diagnostics; the fit is not trustworthy")
 	}
 	t := report.NewTable("pWCET curve", "exceedance prob/run", "bound (cycles)")
 	for _, pt := range an.Curve(12) {
 		t.AddRow(fmt.Sprintf("%.0e", pt.Prob), fmt.Sprintf("%.0f", pt.WCET))
 	}
-	if err := t.Fprint(os.Stdout); err != nil {
-		fatal(err)
-	}
+	return t.Fprint(stdout)
 }
 
 func readSamples(path string) ([]float64, error) {
@@ -117,9 +129,4 @@ func collectSamples(name, credit string, runs int, seed uint64) ([]float64, erro
 		return nil, err
 	}
 	return creditbus.CollectMaxContention(cfg, prog, runs, seed)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mbptafit:", err)
-	os.Exit(1)
 }

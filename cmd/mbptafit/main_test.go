@@ -1,0 +1,147 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/fit_golden.txt")
+
+// fixedSamples renders a deterministic 100-sample file: a base execution
+// time with a pseudo-random (but fully fixed) spread, so the Gumbel fit and
+// the printed curve are the same on every platform.
+func fixedSamples() string {
+	var b strings.Builder
+	b.WriteString("# synthetic execution times for the golden fit test\n")
+	for i := 0; i < 100; i++ {
+		v := 100_000 + (i*7919)%2048 + (i*104729)%509
+		fmt.Fprintf(&b, "%d\n", v)
+	}
+	return b.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGoldenFitOutput(t *testing.T) {
+	path := writeFile(t, "times.txt", fixedSamples())
+	var out strings.Builder
+	if err := run([]string{"-file", path, "-block", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fit_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (regenerate with -update): %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("fit output diverged from golden:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestBlockAutoSelection(t *testing.T) {
+	// 100 samples with -block 0 auto-select block 5, i.e. 20 maxima.
+	path := writeFile(t, "times.txt", fixedSamples())
+	var out strings.Builder
+	if err := run([]string{"-file", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "samples=100 block=5 maxima=20") {
+		t.Errorf("auto block selection wrong:\n%s", out.String())
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	path := writeFile(t, "bad.txt", "123\nnot-a-number\n456\n")
+	var out strings.Builder
+	err := run([]string{"-file", path}, &out)
+	if err == nil {
+		t.Fatal("malformed sample accepted")
+	}
+	if !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	path := writeFile(t, "empty.txt", "# only comments\n\n")
+	var out strings.Builder
+	if err := run([]string{"-file", path}, &out); err == nil {
+		t.Fatal("empty sample file accepted")
+	}
+}
+
+func TestNonFiniteInputRejected(t *testing.T) {
+	path := writeFile(t, "inf.txt", "1000\n+Inf\n2000\n")
+	var out strings.Builder
+	if err := run([]string{"-file", path}, &out); err == nil {
+		t.Fatal("non-finite sample accepted")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no source", nil, "need -file or -collect"},
+		{"both sources", []string{"-file", "x", "-collect", "matrix"}, "not both"},
+		{"positional", []string{"-file", "x", "extra"}, "unexpected arguments"},
+		{"missing file", []string{"-file", "no/such/file.txt"}, "no/such/file.txt"},
+		{"unknown credit", []string{"-collect", "matrix", "-credit", "tokens"}, "unknown credit variant"},
+		{"unknown workload", []string{"-collect", "dhrystone"}, "dhrystone"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(c.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCollectSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement campaign")
+	}
+	var out strings.Builder
+	if err := run([]string{"-collect", "hitter", "-runs", "40", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "samples=40") || !strings.Contains(got, "pWCET curve") {
+		t.Errorf("collect output incomplete:\n%s", got)
+	}
+	// Same flags, same samples, same fit: the collection path is seeded.
+	var again strings.Builder
+	if err := run([]string{"-collect", "hitter", "-runs", "40", "-seed", "7"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Error("collect campaign not reproducible for a fixed seed")
+	}
+}

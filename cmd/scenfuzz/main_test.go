@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"creditbus/internal/scenario"
+)
+
+func TestCleanCampaign(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "30", "-seed", "1", "-workers", "2"}, &out); err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "30 scenarios") || !strings.Contains(got, "0 violation(s)") {
+		t.Errorf("summary missing:\n%s", got)
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Errorf("clean campaign printed failures:\n%s", got)
+	}
+}
+
+func TestByteReproducibleAcrossWorkerCounts(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-n", "25", "-seed", "9", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "25", "-seed", "9", "-workers", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("output depends on worker count:\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+	var again strings.Builder
+	if err := run([]string{"-n", "25", "-seed", "9", "-workers", "4"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.String() != again.String() {
+		t.Error("equal invocations produced different output")
+	}
+}
+
+func TestInjectedFailureMinimizesToLoadableRepro(t *testing.T) {
+	out := t.TempDir()
+	var buf strings.Builder
+	err := run([]string{"-n", "8", "-seed", "4", "-workers", "2",
+		"-inject", "000003", "-minimize", "-out", out}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "failure") {
+		t.Fatalf("injected failure not reported: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "oracle=injected") {
+		t.Errorf("injected violation not printed:\n%s", buf.String())
+	}
+
+	repro := filepath.Join(out, "fuzz-s4-000003.json")
+	data, err := os.ReadFile(repro)
+	if err != nil {
+		t.Fatalf("repro spec not written: %v\n%s", err, buf.String())
+	}
+	sp, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatalf("repro spec does not load: %v", err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("repro spec invalid: %v", err)
+	}
+	if _, err := sp.Compile(); err != nil {
+		t.Fatalf("repro spec does not compile: %v", err)
+	}
+	// The injected predicate depends only on the name, so the minimizer
+	// must have shrunk everything else to the floor.
+	if len(sp.Workloads) != 1 || len(sp.Seeds.Expand()) != 1 || sp.Platform != nil {
+		enc, _ := sp.Encode()
+		t.Errorf("repro not minimal:\n%s", enc)
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("-n 0 accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Error("positional args accepted")
+	}
+}

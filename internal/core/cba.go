@@ -390,6 +390,17 @@ func (a *Arbiter) FilterEligible(pending, out []bool) []bool {
 // Budget returns master m's current scaled budget.
 func (a *Arbiter) Budget(m int) int64 { return a.budget[m] }
 
+// InitialBudget returns master m's scaled budget at Reset: zero for
+// StartEmpty masters (the WCET-mode TuA), the saturation cap otherwise.
+// Budget-conservation oracles need it as the starting point of the identity
+// budget(t) ≤ InitialBudget + t·w_m − S·held_m(t).
+func (a *Arbiter) InitialBudget(m int) int64 {
+	if a.startEmpty[m] {
+		return 0
+	}
+	return a.cap[m]
+}
+
 // BudgetCycles returns master m's budget converted to cycles of bus
 // occupancy it could fund (floor of budget / scale).
 func (a *Arbiter) BudgetCycles(m int) int64 { return a.budget[m] / a.scale }

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWithDefaults(t *testing.T) {
+	d := Options{}.withDefaults()
+	if d.Runs != 30 {
+		t.Errorf("default Runs = %d, want 30", d.Runs)
+	}
+	if d.Seed != 0x20170327 {
+		t.Errorf("default Seed = %#x, want the paper's conference date", d.Seed)
+	}
+	if d.PerCycle || d.Workers != 0 || d.MaxOps != 0 {
+		t.Errorf("zero options gained spurious defaults: %+v", d)
+	}
+	// Explicit values survive.
+	o := Options{Runs: 7, Seed: 3, MaxOps: 11, Workers: 2, PerCycle: true}.withDefaults()
+	if o.Runs != 7 || o.Seed != 3 || o.MaxOps != 11 || o.Workers != 2 || !o.PerCycle {
+		t.Errorf("explicit options overridden: %+v", o)
+	}
+}
+
+func TestRunSeedSchedulesDivergeAcrossBaseSeeds(t *testing.T) {
+	a := Options{Seed: 1}.withDefaults()
+	b := Options{Seed: 2}.withDefaults()
+	same := 0
+	for c := 0; c < 5; c++ {
+		for r := 0; r < 5; r++ {
+			if a.runSeed(c, r) == b.runSeed(c, r) {
+				same++
+			}
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d of 25 (config, run) seeds collide across base seeds", same)
+	}
+	if a.runSeed(0, 0) == 0 {
+		t.Error("runSeed produced the forbidden zero seed")
+	}
+}
+
+// TestExperimentsSerialEqualsParallel is the option-handling contract for
+// every campaign-backed experiment constructor: worker counts change only
+// wall-clock, never a digit of the result, and the PerCycle engine override
+// reproduces the fast engine's numbers exactly. Each case runs a small
+// workload twice per axis and requires deep equality.
+func TestExperimentsSerialEqualsParallel(t *testing.T) {
+	small := Options{Runs: 4, MaxOps: 1500}
+	cases := []struct {
+		name    string
+		inShort bool // cheap enough for the -short matrix
+		run     func(Options) (any, error)
+	}{
+		{"Fig1", false, func(o Options) (any, error) { return Fig1(o) }},
+		{"Fig1Extended", false, func(o Options) (any, error) {
+			o.Runs = 2
+			o.MaxOps = 800
+			return Fig1Extended(o)
+		}},
+		{"Sweep", false, func(o Options) (any, error) { return Sweep(o), nil }},
+		{"HCBAAblation", true, func(o Options) (any, error) { return HCBAAblation(o), nil }},
+		{"MBPTAExperiment", false, func(o Options) (any, error) {
+			o.Runs = 40
+			return MBPTAExperiment(o, "hitter")
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if testing.Short() && !c.inShort {
+				t.Skip("multi-run campaign")
+			}
+			t.Parallel()
+			serialOpts := small
+			serialOpts.Workers = 1
+			serial, err := c.run(serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parallelOpts := small
+			parallelOpts.Workers = 4
+			parallel, err := c.run(parallelOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("workers=4 diverges from workers=1:\n%v\nvs\n%v", parallel, serial)
+			}
+
+			perCycleOpts := serialOpts
+			perCycleOpts.PerCycle = true
+			perCycle, err := c.run(perCycleOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, perCycle) {
+				t.Errorf("PerCycle engine diverges from the fast engine:\n%v\nvs\n%v", perCycle, serial)
+			}
+		})
+	}
+}
+
+func TestProgressObservesEveryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign")
+	}
+	var dones []int
+	total := -1
+	opts := Options{Runs: 3, MaxOps: 800, Workers: 2, Progress: func(done, tot int) {
+		dones = append(dones, done)
+		total = tot
+	}}
+	if _, err := Fig1(opts); err != nil {
+		t.Fatal(err)
+	}
+	// One Fig1 campaign: 4 benchmarks x 6 configurations x 3 runs = 72 jobs.
+	want := 4 * 6 * opts.Runs
+	if total != want {
+		t.Fatalf("progress total = %d, want %d", total, want)
+	}
+	if len(dones) != want {
+		t.Fatalf("progress called %d times, want %d", len(dones), want)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress done sequence broken at %d: got %d", i, d)
+		}
+	}
+}
+
+func TestSeedOptionMovesTheCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign")
+	}
+	a, err := Fig1(Options{Runs: 2, MaxOps: 800, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1(Options{Runs: 2, MaxOps: 800, Seed: 102})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different base seeds produced identical Figure 1 campaigns")
+	}
+	c, err := Fig1(Options{Runs: 2, MaxOps: 800, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("equal base seeds produced different Figure 1 campaigns")
+	}
+}

@@ -1,11 +1,17 @@
 package scenario
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"io"
+)
 
 // This file holds the small CLI conventions shared by every command that
-// accepts -scenario file.json (cmd/cbasim, cmd/experiments): which flags
-// were set explicitly, and how a -fast boolean maps onto the schema's
-// engine option. Keeping them here stops the CLIs from drifting apart.
+// accepts -scenario file.json (cmd/cbasim, cmd/experiments) or batch-checks
+// scenarios (cmd/corpus, cmd/scenfuzz): which flags were set explicitly,
+// how a -fast boolean maps onto the schema's engine option, and the
+// failure-tally/exit-code protocol. Keeping them here stops the CLIs from
+// drifting apart.
 
 // EngineForFast translates a CLI -fast boolean into the engine option.
 func EngineForFast(fast bool) string {
@@ -29,4 +35,37 @@ func ScanFlags(fs *flag.FlagSet, conflicting map[string]bool) (conflicts []strin
 		}
 	})
 	return conflicts, fastSet
+}
+
+// Failures is the shared failure-tally protocol of the batch CLIs
+// (cmd/corpus -verify, cmd/scenfuzz): each verification failure is printed
+// as one "FAIL ..." line as it is found, and the command's final error —
+// and therefore its non-zero exit status — reports the total count. Both
+// gates print and count through the same helper so their output and exit
+// semantics cannot drift apart.
+type Failures struct {
+	w io.Writer
+	n int
+}
+
+// NewFailures returns a tally printing FAIL lines to w.
+func NewFailures(w io.Writer) *Failures { return &Failures{w: w} }
+
+// Failf records one failure and prints it as a "FAIL " line.
+func (f *Failures) Failf(format string, args ...any) {
+	f.n++
+	fmt.Fprintf(f.w, "FAIL "+format+"\n", args...)
+}
+
+// Count returns the number of failures recorded so far.
+func (f *Failures) Count() int { return f.n }
+
+// Err returns nil when no failure was recorded, and the canonical
+// "%d failure(s)" error — the one the commands return from run() to force a
+// non-zero exit — otherwise.
+func (f *Failures) Err() error {
+	if f.n == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d failure(s)", f.n)
 }

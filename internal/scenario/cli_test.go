@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailuresProtocol(t *testing.T) {
+	var out strings.Builder
+	f := NewFailures(&out)
+	if f.Count() != 0 || f.Err() != nil {
+		t.Fatalf("fresh tally not clean: count=%d err=%v", f.Count(), f.Err())
+	}
+	f.Failf("%s seed %d: boom", "scn", 7)
+	f.Failf("other: %v", "bad")
+	if f.Count() != 2 {
+		t.Fatalf("count = %d, want 2", f.Count())
+	}
+	got := out.String()
+	if !strings.Contains(got, "FAIL scn seed 7: boom\n") || !strings.Contains(got, "FAIL other: bad\n") {
+		t.Errorf("FAIL lines malformed:\n%s", got)
+	}
+	err := f.Err()
+	if err == nil || err.Error() != "2 failure(s)" {
+		t.Errorf("Err() = %v, want the canonical 2 failure(s)", err)
+	}
+}
+
+func TestSpecEncodeRoundTrips(t *testing.T) {
+	data := []byte(`{
+  "name": "roundtrip",
+  "cores": 2,
+  "policy": "RR",
+  "run": "wcet",
+  "workloads": [
+    {"core": 0, "workload": "matrix", "ops": 100}
+  ],
+  "seeds": {"list": [5]}
+}`)
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[len(enc)-1] != '\n' {
+		t.Error("canonical encoding lacks the trailing newline")
+	}
+	back, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("canonical encoding does not re-parse: %v", err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Errorf("Encode not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+	}
+}

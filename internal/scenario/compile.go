@@ -193,26 +193,34 @@ func (c *Compiled) Programs() []cpu.Program {
 
 // RunSeed executes one run on the spec's configured engine.
 func (c *Compiled) RunSeed(seed uint64) (sim.Result, error) {
-	return c.runSeed(c.Config, seed)
+	return c.runSeed(c.Config, seed, nil)
 }
 
 // RunSeedEngine executes one run with an explicit engine choice,
 // overriding the spec — the corpus equivalence test drives both engines
 // over every scenario with this.
 func (c *Compiled) RunSeedEngine(seed uint64, perCycle bool) (sim.Result, error) {
-	cfg := c.Config
-	cfg.ForcePerCycle = perCycle
-	return c.runSeed(cfg, seed)
+	return c.RunSeedProbed(seed, perCycle, nil)
 }
 
-func (c *Compiled) runSeed(cfg sim.Config, seed uint64) (sim.Result, error) {
+// RunSeedProbed executes one run with an explicit engine choice and a
+// step-granularity observer — the hook internal/scengen's invariant oracles
+// use to watch budgets and bus conservation at every observation point. A
+// nil probe makes it exactly RunSeedEngine.
+func (c *Compiled) RunSeedProbed(seed uint64, perCycle bool, probe sim.Probe) (sim.Result, error) {
+	cfg := c.Config
+	cfg.ForcePerCycle = perCycle
+	return c.runSeed(cfg, seed, probe)
+}
+
+func (c *Compiled) runSeed(cfg sim.Config, seed uint64, probe sim.Probe) (sim.Result, error) {
 	switch c.Spec.Run {
 	case RunIsolation:
-		return sim.RunIsolation(cfg, c.Program(c.tua), seed)
+		return sim.RunIsolationProbed(cfg, c.Program(c.tua), seed, probe)
 	case RunWCET:
-		return sim.RunMaxContention(cfg, c.Program(c.tua), seed)
+		return sim.RunMaxContentionProbed(cfg, c.Program(c.tua), seed, probe)
 	case RunWorkloads:
-		return sim.RunWorkloads(cfg, c.Programs(), seed)
+		return sim.RunWorkloadsProbed(cfg, c.Programs(), seed, probe)
 	default:
 		return sim.Result{}, fmt.Errorf("scenario: unknown run kind %q", c.Spec.Run)
 	}

@@ -189,6 +189,18 @@ func Parse(data []byte) (Spec, error) {
 	return s, nil
 }
 
+// Encode renders the spec in its canonical byte form: indented JSON with
+// the struct's fixed field order and a trailing newline. Parse(Encode(s))
+// round-trips, which is what lets the fuzzing harness write a minimized
+// failing spec to disk as a directly loadable repro file.
+func (s Spec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode spec: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
 // Load reads and parses a spec file.
 func Load(path string) (Spec, error) {
 	data, err := os.ReadFile(path)

@@ -1,0 +1,38 @@
+package scengen
+
+import (
+	"testing"
+)
+
+// FuzzScenario decodes the fuzz engine's byte string into generator choices
+// (ByteSource) and holds the result to the package's contract: decoding
+// never panics, always yields a Validate-clean, compilable spec, and — when
+// the input carries enough entropy to be an interesting scenario — the full
+// invariant-oracle layer passes on both engines. Inputs the engine deems
+// interesting accumulate in the corpus cache, so CI's fuzz smoke explores a
+// growing frontier of the scenario space.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte("\x00\x03\x00\x01\x00\x02\xff\xff\x00\x07\x00\x09\x00\x0b\x00\x0d"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp := Generate(&ByteSource{Data: data}, "fuzz")
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v", err)
+		}
+		if _, err := sp.Compile(); err != nil {
+			t.Fatalf("generated spec does not compile: %v", err)
+		}
+		if len(data) < 16 {
+			return // not enough choices to make simulation worthwhile
+		}
+		vs, err := Check(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			repro, _ := sp.Encode()
+			t.Errorf("invariant violation: %s\nrepro spec:\n%s", v, repro)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+// Package scengen turns the curated 25-scenario corpus into an unbounded,
+// self-checking scenario space: a seeded, deterministic random generator of
+// valid scenario.Spec documents (Generate) plus an invariant-oracle layer
+// (Check) that validates every run against closed-form properties of the
+// paper's credit-based arbitration instead of golden snapshots — engine
+// differential equality, bus work conservation, Eq. 1 budget bounds and
+// weighted-share caps, and metamorphic contention monotonicity. Minimize
+// shrinks a failing spec to a small repro. cmd/scenfuzz drives millions of
+// generated scenarios through the oracles on the campaign worker pool;
+// FuzzScenario feeds the same generator from native fuzzing bytes.
+//
+// DESIGN.md §8 documents the sampling space and states each oracle
+// formally.
+package scengen
+
+import (
+	"fmt"
+
+	"creditbus/internal/rng"
+	"creditbus/internal/scenario"
+	"creditbus/internal/workload"
+)
+
+// Source supplies the generator's random choices. Two implementations
+// exist: the seeded rng stream of NewSource (deterministic scenario
+// campaigns, cmd/scenfuzz) and ByteSource (native fuzzing, where the fuzz
+// engine's byte string IS the choice sequence, so every interesting input
+// it finds is replayable as a scenario).
+type Source interface {
+	// Intn returns a choice in [0, n). n is always ≥ 1.
+	Intn(n int) int
+}
+
+// streamSource adapts the module's splitmix/xoshiro stream.
+type streamSource struct{ s *rng.Stream }
+
+func (s streamSource) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return s.s.Intn(n)
+}
+
+// NewSource returns the seeded deterministic choice stream: equal seeds
+// generate byte-identical scenario sequences on every platform.
+func NewSource(seed uint64) Source { return streamSource{s: rng.New(seed)} }
+
+// ByteSource derives choices from a fuzz input: each Intn consumes two
+// bytes (big-endian) and reduces them modulo n; an exhausted input yields
+// zeros, so every byte string — including the empty one — decodes to a
+// complete, valid spec. The modulo bias is irrelevant here: coverage, not
+// uniformity, is what fuzzing needs.
+type ByteSource struct {
+	Data []byte
+	off  int
+}
+
+func (b *ByteSource) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var v int
+	for i := 0; i < 2; i++ {
+		v <<= 8
+		if b.off < len(b.Data) {
+			v |= int(b.Data[b.off])
+			b.off++
+		}
+	}
+	return v % n
+}
+
+// between returns a choice in [lo, hi], inclusive.
+func between(src Source, lo, hi int) int { return lo + src.Intn(hi-lo+1) }
+
+// pct returns true with probability p/100.
+func pct(src Source, p int) bool { return src.Intn(100) < p }
+
+// oneOf picks a uniform element.
+func oneOf[T any](src Source, xs ...T) T { return xs[src.Intn(len(xs))] }
+
+// Sampling-space constants. Cores span the paper's 4-core platform down to
+// dual-core and up to 16 masters; operation counts are truncated so a
+// generated scenario simulates in milliseconds and a fuzzing campaign can
+// afford millions of them.
+var (
+	coreCounts = []int{2, 2, 3, 4, 4, 4, 6, 8, 12, 16}
+	policies   = []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI"}
+	engines    = []string{"", scenario.EngineFast, scenario.EnginePerCycle}
+)
+
+// Generate draws one valid scenario.Spec from the full sampling space:
+// cores 2–16, every policy, every credit kind with randomised num/den/
+// cap-factor/privileged-core parameters, platform latency and geometry
+// overrides, per-core workload+weight+criticality mixes, all three run
+// kinds, both engines and 1–2-seed schedules. The returned spec always
+// passes Validate — Generate panics otherwise, which turns any gap between
+// the generator and the schema's semantic rules into a fuzzing finding
+// instead of a silent skip.
+func Generate(src Source, name string) scenario.Spec {
+	s := scenario.Spec{Name: name}
+	s.Cores = oneOf(src, coreCounts...)
+	s.Policy = oneOf(src, policies...)
+	s.Run = runKind(src)
+	s.Engine = oneOf(src, engines...)
+
+	if pct(src, 50) {
+		s.Platform = platform(src)
+	}
+
+	tua := workloads(src, &s)
+	if c := credit(src, s.Cores, tua); c != nil {
+		s.Credit = c
+	}
+	seeds(src, &s)
+
+	// One region of the space has no defined WCET and is excluded rather
+	// than sampled: fixed priority, maximum-contention injectors (REQ
+	// permanently set) on a higher-priority core than the TuA, and no
+	// credit filter. That TuA starves forever — the paper's §II argument
+	// for why bare priorities are unusable — so the run-completion oracle
+	// would (correctly) report an unbounded run. With any CBA variant the
+	// configuration stays in the space: preventing exactly this starvation
+	// is the scheme's contribution.
+	if s.Policy == "PRI" && s.Run == scenario.RunWCET && s.Credit == nil && tua != 0 {
+		s.Workloads[0].Core = 0
+		if s.TuA != nil {
+			*s.TuA = 0
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scengen: generated an invalid spec: %v\nspec: %+v", err, s))
+	}
+	return s
+}
+
+func runKind(src Source) string {
+	switch src.Intn(5) {
+	case 0:
+		return scenario.RunIsolation
+	case 1, 2:
+		return scenario.RunWCET
+	default:
+		return scenario.RunWorkloads
+	}
+}
+
+// platform draws an override block: latencies always (they move MaxL, the
+// quantity every credit bound scales with), geometry sometimes. Sets stay
+// powers of two (cache.Config requires it); LineBytes stays at the default
+// 32 so workload working-set reasoning keeps holding.
+func platform(src Source) *scenario.Platform {
+	p := &scenario.Platform{
+		L2HitLatency: int64(between(src, 1, 10)),
+		MemLatency:   int64(between(src, 8, 48)),
+	}
+	if pct(src, 40) {
+		p.L1Sets = oneOf(src, 16, 32, 64)
+		p.L1Ways = oneOf(src, 1, 2, 4)
+	}
+	if pct(src, 40) {
+		p.L2Sets = oneOf(src, 64, 128, 256)
+		p.L2Ways = oneOf(src, 2, 4)
+	}
+	if pct(src, 30) {
+		p.StoreBufferDepth = between(src, 1, 6)
+	}
+	return p
+}
+
+// workloads populates s.Workloads and the TuA designation, returning the
+// TuA core index. Isolation and wcet runs take exactly one entry; workloads
+// runs add 1–3 co-runners on distinct cores, usually looping. The TuA is
+// biased onto core 0 (70%) because the isolation-metamorphic oracle is only
+// seed-aligned when no co-runner precedes the TuA in the machine's seeding
+// order (see oracle.go).
+func workloads(src Source, s *scenario.Spec) int {
+	names := workload.Names()
+	tua := 0
+	if !pct(src, 70) {
+		tua = src.Intn(s.Cores)
+	}
+
+	mk := func(core int, isTuA bool) scenario.Workload {
+		w := scenario.Workload{
+			Core: core,
+			Name: oneOf(src, names...),
+		}
+		if pct(src, 30) {
+			w.Seed = uint64(between(src, 2, 5))
+		}
+		if isTuA {
+			w.Ops = between(src, 60, 800)
+		} else if pct(src, 70) {
+			w.Loop = true
+		} else {
+			w.Ops = between(src, 50, 400)
+		}
+		if s.Policy == "LOT" && pct(src, 50) {
+			w.Weight = int64(between(src, 1, 8))
+		}
+		return w
+	}
+
+	tuaEntry := mk(tua, true)
+	if pct(src, 40) {
+		tuaEntry.Criticality = scenario.CritHigh
+	} else {
+		t := tua
+		s.TuA = &t
+		if pct(src, 30) {
+			tuaEntry.Criticality = scenario.CritLow
+		}
+	}
+	s.Workloads = []scenario.Workload{tuaEntry}
+
+	if s.Run == scenario.RunWorkloads {
+		free := make([]int, 0, s.Cores-1)
+		for c := 0; c < s.Cores; c++ {
+			if c != tua {
+				free = append(free, c)
+			}
+		}
+		n := between(src, 1, min(3, len(free)))
+		for i := 0; i < n; i++ {
+			k := src.Intn(len(free))
+			core := free[k]
+			free = append(free[:k], free[k+1:]...)
+			co := mk(core, false)
+			if tuaEntry.Criticality == scenario.CritHigh && pct(src, 60) {
+				co.Criticality = scenario.CritLow
+			}
+			s.Workloads = append(s.Workloads, co)
+		}
+	}
+	return tua
+}
+
+// credit draws the CBA variant. Nil means off. The privileged core for the
+// hcba-* kinds is usually left to default to the TuA; when sampled
+// explicitly it avoids the one inexpressible combination the schema rejects
+// (privileged 0 alongside a non-zero TuA).
+func credit(src Source, cores, tua int) *scenario.Credit {
+	switch src.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return &scenario.Credit{Kind: "cba"}
+	case 2:
+		c := &scenario.Credit{Kind: "hcba-weights"}
+		c.Den = int64(between(src, 2, 6))
+		c.Num = int64(between(src, 1, int(c.Den)-1))
+		privileged(src, c, cores, tua)
+		return c
+	default:
+		c := &scenario.Credit{Kind: "hcba-cap"}
+		if pct(src, 70) {
+			c.CapFactor = int64(between(src, 2, 4))
+		}
+		privileged(src, c, cores, tua)
+		return c
+	}
+}
+
+func privileged(src Source, c *scenario.Credit, cores, tua int) {
+	if pct(src, 60) {
+		return // default: the TuA
+	}
+	p := src.Intn(cores)
+	if p == 0 && tua != 0 {
+		p = tua // privileged 0 means "the TuA" downstream; keep it expressible
+	}
+	c.Privileged = &p
+}
+
+// seeds draws a short schedule: oracle checks run every seed on both
+// engines plus metamorphic reruns, so 1–2 seeds keep a generated scenario
+// in the low milliseconds.
+func seeds(src Source, s *scenario.Spec) {
+	n := 1
+	if pct(src, 30) {
+		n = 2
+	}
+	list := make([]uint64, n)
+	for i := range list {
+		list[i] = uint64(between(src, 1, 1<<20))
+	}
+	s.Seeds = scenario.Seeds{List: list}
+}

@@ -1,0 +1,188 @@
+package scengen
+
+import "creditbus/internal/scenario"
+
+// Failing reports whether a candidate spec still exhibits the failure being
+// minimized. cmd/scenfuzz uses len(Check(spec)) > 0 (plus any injected
+// failure); tests substitute arbitrary predicates.
+type Failing func(scenario.Spec) bool
+
+// DefaultMinimizeBudget bounds the predicate evaluations of a Minimize
+// call. Each evaluation re-simulates the candidate, so the budget is a
+// wall-clock guard, not a correctness knob: the greedy pass converges long
+// before it on realistic specs.
+const DefaultMinimizeBudget = 200
+
+// Minimize greedily shrinks a failing spec: it repeatedly applies the
+// single reduction (fewer seeds, fewer co-runners, shorter programs, fewer
+// cores, no platform overrides, simpler credit and policy, default engine,
+// no weights) whose result still fails, until no reduction applies or the
+// predicate budget is exhausted. The result is always a valid spec that
+// still satisfies failing; if the input itself does not fail, it is
+// returned unchanged. Reductions preserve the scenario name, so the repro
+// file stays traceable to the generating run.
+func Minimize(sp scenario.Spec, failing Failing, budget int) scenario.Spec {
+	if budget <= 0 {
+		budget = DefaultMinimizeBudget
+	}
+	if !failing(sp) {
+		return sp
+	}
+	budget--
+	for budget > 0 {
+		reduced := false
+		for _, cand := range reductions(sp) {
+			if budget <= 0 {
+				break
+			}
+			if cand.Validate() != nil {
+				continue // a reduction that breaks the schema is not a repro
+			}
+			budget--
+			if failing(cand) {
+				sp = cand
+				reduced = true
+				break // restart the reduction list from the smaller spec
+			}
+		}
+		if !reduced {
+			return sp
+		}
+	}
+	return sp
+}
+
+// reductions enumerates the one-step shrink candidates of sp, most
+// aggressive first. Every candidate is a deep copy.
+func reductions(sp scenario.Spec) []scenario.Spec {
+	var out []scenario.Spec
+	add := func(mutate func(*scenario.Spec)) {
+		c := clone(sp)
+		mutate(&c)
+		out = append(out, c)
+	}
+
+	// Fewer seeds: try each single seed of a multi-seed schedule.
+	if seeds := sp.Seeds.Expand(); len(seeds) > 1 {
+		for _, s := range seeds {
+			s := s
+			add(func(c *scenario.Spec) { c.Seeds = scenario.Seeds{List: []uint64{s}} })
+		}
+	}
+
+	// Fewer co-runners: drop each non-TuA workload.
+	tua := tuaCore(sp)
+	for i := range sp.Workloads {
+		if sp.Workloads[i].Core == tua {
+			continue
+		}
+		i := i
+		add(func(c *scenario.Spec) {
+			c.Workloads = append(c.Workloads[:i], c.Workloads[i+1:]...)
+		})
+	}
+
+	// Shorter programs: halve each truncated trace, pin each looped
+	// co-runner to a short finite prefix.
+	for i := range sp.Workloads {
+		i := i
+		if sp.Workloads[i].Ops > 1 {
+			add(func(c *scenario.Spec) { c.Workloads[i].Ops /= 2 })
+		}
+		if sp.Workloads[i].Loop {
+			add(func(c *scenario.Spec) {
+				c.Workloads[i].Loop = false
+				c.Workloads[i].Ops = 64
+			})
+		}
+	}
+
+	// Fewer cores: shrink to the highest occupied index + 1.
+	maxCore := 0
+	for _, w := range sp.Workloads {
+		if w.Core > maxCore {
+			maxCore = w.Core
+		}
+	}
+	if need := max(maxCore+1, 2); sp.Cores == 0 || need < sp.Cores {
+		add(func(c *scenario.Spec) { c.Cores = need })
+	}
+
+	if sp.Platform != nil {
+		add(func(c *scenario.Spec) { c.Platform = nil })
+	}
+
+	// Simpler credit: strip the H-CBA parameters, fall back to homogeneous
+	// CBA, then to no credit at all.
+	if cr := sp.Credit; cr != nil {
+		if cr.Privileged != nil || cr.Num != 0 || cr.CapFactor != 0 {
+			add(func(c *scenario.Spec) {
+				c.Credit.Privileged = nil
+				c.Credit.Num, c.Credit.Den, c.Credit.CapFactor = 0, 0, 0
+			})
+		}
+		if cr.Kind != "cba" {
+			add(func(c *scenario.Spec) {
+				c.Credit = &scenario.Credit{Kind: "cba"}
+			})
+		}
+		add(func(c *scenario.Spec) { c.Credit = nil })
+	}
+
+	if sp.Policy != "RR" && sp.Policy != "" {
+		add(func(c *scenario.Spec) {
+			c.Policy = "RR"
+			for i := range c.Workloads {
+				c.Workloads[i].Weight = 0 // weights are LOT-only
+			}
+		})
+	}
+	if sp.Engine != "" {
+		add(func(c *scenario.Spec) { c.Engine = "" })
+	}
+	for i := range sp.Workloads {
+		if sp.Workloads[i].Weight != 0 {
+			i := i
+			add(func(c *scenario.Spec) { c.Workloads[i].Weight = 0 })
+		}
+	}
+	return out
+}
+
+// tuaCore resolves the spec's TuA without compiling: the explicit field,
+// else the unique HI core, else 0 — mirroring Spec's own resolution.
+func tuaCore(sp scenario.Spec) int {
+	if sp.TuA != nil {
+		return *sp.TuA
+	}
+	for _, w := range sp.Workloads {
+		if w.Criticality == scenario.CritHigh {
+			return w.Core
+		}
+	}
+	return 0
+}
+
+// clone deep-copies a spec so reductions never alias the original.
+func clone(sp scenario.Spec) scenario.Spec {
+	c := sp
+	c.Workloads = append([]scenario.Workload(nil), sp.Workloads...)
+	c.Seeds.List = append([]uint64(nil), sp.Seeds.List...)
+	if sp.TuA != nil {
+		v := *sp.TuA
+		c.TuA = &v
+	}
+	if sp.Platform != nil {
+		v := *sp.Platform
+		c.Platform = &v
+	}
+	if sp.Credit != nil {
+		v := *sp.Credit
+		c.Credit = &v
+		if sp.Credit.Privileged != nil {
+			p := *sp.Credit.Privileged
+			c.Credit.Privileged = &p
+		}
+	}
+	return c
+}

@@ -54,10 +54,42 @@ func (m *Machine) result(tua int) Result {
 	return r
 }
 
+// Probe observes a machine at step granularity: a probed run invokes it
+// after every engine step (one cycle on the per-cycle engine, one event
+// step on the fast engine), and once more after the final step. Probes must
+// only read — any mutation corrupts the run. They exist for the invariant
+// oracles of internal/scengen, which check budget bounds and bus
+// conservation at every observation point; a nil Probe makes the probed run
+// functions identical to their plain counterparts.
+type Probe func(*Machine)
+
+// runProbed drives m until Done or limit, invoking probe after each step.
+// The loop is Machine.Run with the probe spliced in, including the limit
+// guard's cycle and message, so probed and plain runs are bit-identical.
+func runProbed(m *Machine, limit int64, probe Probe) error {
+	if probe == nil {
+		_, err := m.Run(limit)
+		return err
+	}
+	for !m.Done() {
+		if m.cycle >= limit {
+			return fmt.Errorf("sim: limit of %d cycles reached before completion", limit)
+		}
+		m.step(limit)
+		probe(m)
+	}
+	return nil
+}
+
 // RunIsolation executes prog alone on cfg.TuA with every other core idle —
 // the paper's ISO scenario. The configuration's Mode is forced to operation
 // mode (isolation measurements run the deployment configuration).
 func RunIsolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	return RunIsolationProbed(cfg, prog, seed, nil)
+}
+
+// RunIsolationProbed is RunIsolation with a step-granularity observer.
+func RunIsolationProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
 	cfg.Mode = core.OperationMode
 	programs := make([]cpu.Program, cfg.Cores)
 	programs[cfg.TuA] = prog
@@ -65,7 +97,7 @@ func RunIsolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := m.Run(DefaultLimit); err != nil {
+	if err := runProbed(m, DefaultLimit, probe); err != nil {
 		return Result{}, err
 	}
 	return m.result(cfg.TuA), nil
@@ -76,6 +108,12 @@ func RunIsolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
 // mode: contender REQ always set, MaxL holds, COMP gating when CBA is on,
 // TuA budget starting empty).
 func RunMaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	return RunMaxContentionProbed(cfg, prog, seed, nil)
+}
+
+// RunMaxContentionProbed is RunMaxContention with a step-granularity
+// observer.
+func RunMaxContentionProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
 	cfg.Mode = core.WCETMode
 	programs := make([]cpu.Program, cfg.Cores)
 	programs[cfg.TuA] = prog
@@ -83,7 +121,7 @@ func RunMaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := m.Run(DefaultLimit); err != nil {
+	if err := runProbed(m, DefaultLimit, probe); err != nil {
 		return Result{}, err
 	}
 	return m.result(cfg.TuA), nil
@@ -109,6 +147,11 @@ func emptyProgram(p cpu.Program) bool {
 // asks for, so it is rejected up front with a clear error instead of
 // silently producing a contention-free (or deadlock-guarded) run.
 func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, error) {
+	return RunWorkloadsProbed(cfg, programs, seed, nil)
+}
+
+// RunWorkloadsProbed is RunWorkloads with a step-granularity observer.
+func RunWorkloadsProbed(cfg Config, programs []cpu.Program, seed uint64, probe Probe) (Result, error) {
 	cfg.Mode = core.OperationMode
 	if len(programs) != cfg.Cores {
 		return Result{}, fmt.Errorf("sim: RunWorkloads needs %d programs", cfg.Cores)
@@ -134,6 +177,9 @@ func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, erro
 			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
 		}
 		m.step(DefaultLimit)
+		if probe != nil {
+			probe(m)
+		}
 	}
 	return m.result(cfg.TuA), nil
 }
