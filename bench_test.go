@@ -206,6 +206,7 @@ func benchCollect(b *testing.B, workers int, perCycle bool) {
 	}
 	const runs = 16
 	c := creditbus.Campaign{Workers: workers}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.CollectMaxContention(cfg, prog, runs, 1); err != nil {

@@ -8,11 +8,21 @@ import (
 	"testing"
 )
 
-// stubReport builds a Report with the given fast-engine speedups.
+// stubReport builds a Report with the given fast-engine speedups and a
+// healthy pooled-campaign profile matching stubBaseline.
 func stubReport(step, collect float64) Report {
 	var r Report
+	r.SchemaVersion = SchemaVersion
 	r.MachineStep.Speedup = step
 	r.CollectMaxContention.Speedup = collect
+	r.Allocations.FreshRun.AllocsPerOp = 1000
+	r.Allocations.ReusedRun.AllocsPerOp = 10
+	r.Allocations.AllocReduction = 0.99
+	r.ParallelCampaign.Workers = 4
+	r.ParallelCampaign.SerialRunsPerSec = 1000
+	r.ParallelCampaign.ParallelRunsPerSec = 3000
+	r.ParallelCampaign.Scaling = 3.0
+	r.ParallelCampaign.AllocsPerRun = 12
 	return r
 }
 
@@ -35,17 +45,29 @@ func writeBaseline(t *testing.T, content string) string {
 }
 
 const goodBaseline = `{
-  "go_version": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 4,
+  "schema_version": 2,
+  "go_version": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 4, "gomaxprocs": 4,
   "machine_step": {
     "per_cycle": {"ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
     "fast": {"ns_per_op": 20, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 5e7},
     "speedup": 5.0
   },
   "collect_max_contention": {
-    "workload": "canrdr", "runs": 16,
+    "workload": "canrdr", "runs": 16, "workers": 1,
     "per_cycle": {"ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
     "fast": {"ns_per_op": 20, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 5e7},
     "speedup": 5.0
+  },
+  "allocations": {
+    "workload": "canrdr",
+    "fresh_machine_run": {"ns_per_op": 1e6, "bytes_per_op": 500000, "allocs_per_op": 1000},
+    "reused_machine_run": {"ns_per_op": 9e5, "bytes_per_op": 2000, "allocs_per_op": 10},
+    "alloc_reduction": 0.99
+  },
+  "parallel_campaign": {
+    "workload": "canrdr", "runs": 16, "workers": 4,
+    "serial_runs_per_sec": 1000, "parallel_runs_per_sec": 3000, "scaling": 3.0,
+    "allocs_per_run": 12, "bytes_per_run": 2500
   }
 }`
 
@@ -54,10 +76,10 @@ func TestCheckPassesAtBaseline(t *testing.T) {
 	path := writeBaseline(t, goodBaseline)
 	var out, errb strings.Builder
 	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err != nil {
-		t.Fatalf("gate failed at baseline speed: %v", err)
+		t.Fatalf("gate failed at baseline speed: %v\n%s", err, out.String())
 	}
-	if strings.Count(out.String(), " ok") != 2 {
-		t.Errorf("expected two ok gates:\n%s", out.String())
+	if strings.Count(out.String(), " ok") != 5 {
+		t.Errorf("expected five ok gates:\n%s", out.String())
 	}
 }
 
@@ -77,7 +99,7 @@ func TestCheckFailsBelowFloor(t *testing.T) {
 	path := writeBaseline(t, goodBaseline)
 	var out, errb strings.Builder
 	err := run([]string{"-check", "-baseline", path}, &out, &errb)
-	if err == nil || !strings.Contains(err.Error(), "below 0.85x") {
+	if err == nil || !strings.Contains(err.Error(), "outside 0.85x") {
 		t.Fatalf("regression not caught: %v", err)
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
@@ -87,8 +109,54 @@ func TestCheckFailsBelowFloor(t *testing.T) {
 	// where it passed the 0.85 floor above).
 	stubMeasure(t, stubReport(4.0, 4.9))
 	err = run([]string{"-check", "-baseline", path, "-threshold", "1.0"}, &out, &errb)
-	if err == nil || !strings.Contains(err.Error(), "2 speedup gate(s)") {
-		t.Fatalf("threshold 1.0 should fail both gates: %v", err)
+	if err == nil || !strings.Contains(err.Error(), "2 perf gate(s)") {
+		t.Fatalf("threshold 1.0 should fail both speedup gates: %v", err)
+	}
+}
+
+func TestCheckFailsOnAllocRegression(t *testing.T) {
+	// Allocations regress by GROWING: 10 → 50 allocs/op on the pooled path
+	// busts the 10/0.85 ≈ 11.8 limit even though every speedup is fine.
+	rep := stubReport(5.0, 5.0)
+	rep.Allocations.ReusedRun.AllocsPerOp = 50
+	stubMeasure(t, rep)
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	err := run([]string{"-check", "-baseline", path}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "1 perf gate(s)") {
+		t.Fatalf("allocation regression not caught: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "reused-run allocs/op") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("allocation gate row missing:\n%s", out.String())
+	}
+}
+
+func TestCheckFailsOnScalingRegression(t *testing.T) {
+	rep := stubReport(5.0, 5.0)
+	rep.ParallelCampaign.Scaling = 1.1 // worker pool collapsed to serial speed
+	stubMeasure(t, rep)
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	err := run([]string{"-check", "-baseline", path}, &out, &errb)
+	if err == nil || !strings.Contains(out.String(), "parallel campaign scaling") {
+		t.Fatalf("scaling regression not caught: %v\n%s", err, out.String())
+	}
+}
+
+func TestCheckSkipsScalingAcrossWorkerCounts(t *testing.T) {
+	// Baseline measured at 4 workers, this machine at 2: absolute scaling
+	// is incomparable, the gate must skip with a notice instead of failing.
+	rep := stubReport(5.0, 5.0)
+	rep.ParallelCampaign.Workers = 2
+	rep.ParallelCampaign.Scaling = 1.5
+	stubMeasure(t, rep)
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err != nil {
+		t.Fatalf("worker-count mismatch must skip, not fail: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scaling gate skipped") {
+		t.Errorf("skip notice missing:\n%s", out.String())
 	}
 }
 
@@ -101,7 +169,9 @@ func TestCheckRejectsBadBaselines(t *testing.T) {
 	}{
 		{"malformed json", `{"machine_step": `, "malformed"},
 		{"unknown field", `{"surprise": 1}`, "malformed"},
-		{"zero speedups", `{"machine_step": {"speedup": 0}, "collect_max_contention": {"speedup": 0}}`, "non-positive"},
+		{"missing schema version", `{"machine_step": {"speedup": 5}, "collect_max_contention": {"speedup": 5}}`, "schema version 0"},
+		{"old schema version", `{"schema_version": 1}`, "schema version 1"},
+		{"zero speedups", `{"schema_version": 2, "machine_step": {"speedup": 0}, "collect_max_contention": {"speedup": 0}}`, "non-positive"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -169,8 +239,30 @@ func TestWriteMode(t *testing.T) {
 	if rep.MachineStep.Speedup != 5.0 || rep.CollectMaxContention.Speedup != 6.0 {
 		t.Errorf("round-trip mismatch: %+v", rep)
 	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("written schema version %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
 	if !strings.Contains(stdout.String(), "wrote "+out) {
 		t.Errorf("write confirmation missing:\n%s", stdout.String())
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	stubMeasure(t, stubReport(5.0, 5.0))
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var stdout, errb strings.Builder
+	if err := run([]string{"-out", filepath.Join(dir, "o.json"), "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -42,6 +42,16 @@ type Scheduler interface {
 	NextPickCycle(from int64) int64
 }
 
+// Reseeder is implemented by randomised policies (lottery, random
+// permutations) whose draws derive from a per-run seed. Reseed(seed) puts
+// the policy in exactly the state its constructor would with that seed, so
+// a recycled policy is bit-identical to a fresh one — the hook machine
+// reuse needs to re-arm arbitration randomness without reallocating.
+// Deterministic policies don't implement it; their Reset covers a new run.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
 // countEligible returns the number of set entries.
 func countEligible(eligible []bool) int {
 	n := 0

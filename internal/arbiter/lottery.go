@@ -70,5 +70,19 @@ func (l *Lottery) Pick(eligible []bool, _ int64) (int, bool) {
 // OnGrant implements Policy.
 func (l *Lottery) OnGrant(int, int64) {}
 
-// Reset re-seeds the ticket draw stream.
-func (l *Lottery) Reset() { l.src = rng.New(l.seed) }
+// Reset re-seeds the ticket draw stream. On a constructed policy it
+// allocates nothing: the stream is rearmed in place.
+func (l *Lottery) Reset() {
+	if l.src == nil {
+		l.src = rng.New(l.seed)
+	} else {
+		l.src.Reseed(l.seed)
+	}
+}
+
+// Reseed implements Reseeder: the policy restarts as if constructed with
+// the given seed.
+func (l *Lottery) Reseed(seed uint64) {
+	l.seed = seed
+	l.Reset()
+}

@@ -86,8 +86,20 @@ func (p *RandomPermutation) OnGrant(m int, _ int64) {
 	}
 }
 
-// Reset re-seeds the stream and draws a fresh first round.
+// Reset re-seeds the stream and draws a fresh first round. On a
+// constructed policy it allocates nothing: the stream is rearmed in place.
 func (p *RandomPermutation) Reset() {
-	p.src = rng.New(p.seed)
+	if p.src == nil {
+		p.src = rng.New(p.seed)
+	} else {
+		p.src.Reseed(p.seed)
+	}
 	p.newRound()
+}
+
+// Reseed implements Reseeder: the policy restarts as if constructed with
+// the given seed.
+func (p *RandomPermutation) Reseed(seed uint64) {
+	p.seed = seed
+	p.Reset()
 }

@@ -100,29 +100,29 @@ type Bus struct {
 	idleCycles  int64
 }
 
-// New validates cfg and builds an idle bus at cycle 0.
-func New(cfg Config) (*Bus, error) {
+// validate checks a bus configuration and resolves the arbitration latency.
+func validate(cfg Config) (arbLatency int64, err error) {
 	if cfg.Masters <= 0 {
-		return nil, fmt.Errorf("bus: Masters = %d, need > 0", cfg.Masters)
+		return 0, fmt.Errorf("bus: Masters = %d, need > 0", cfg.Masters)
 	}
 	if cfg.MaxHold <= 0 {
-		return nil, fmt.Errorf("bus: MaxHold = %d, need > 0", cfg.MaxHold)
+		return 0, fmt.Errorf("bus: MaxHold = %d, need > 0", cfg.MaxHold)
 	}
 	if cfg.Policy == nil {
-		return nil, fmt.Errorf("bus: Policy is required")
+		return 0, fmt.Errorf("bus: Policy is required")
 	}
 	if cfg.Credit != nil {
 		if cfg.Credit.Masters() != cfg.Masters {
-			return nil, fmt.Errorf("bus: Credit has %d masters, bus has %d",
+			return 0, fmt.Errorf("bus: Credit has %d masters, bus has %d",
 				cfg.Credit.Masters(), cfg.Masters)
 		}
 		if cfg.Credit.MaxHold() != cfg.MaxHold {
-			return nil, fmt.Errorf("bus: Credit MaxHold %d != bus MaxHold %d",
+			return 0, fmt.Errorf("bus: Credit MaxHold %d != bus MaxHold %d",
 				cfg.Credit.MaxHold(), cfg.MaxHold)
 		}
 	}
 	if cfg.Signals != nil && cfg.Credit == nil {
-		return nil, fmt.Errorf("bus: Signals (COMP gate) requires Credit")
+		return 0, fmt.Errorf("bus: Signals (COMP gate) requires Credit")
 	}
 	lat := cfg.ArbLatency
 	switch {
@@ -131,7 +131,16 @@ func New(cfg Config) (*Bus, error) {
 	case lat == -1:
 		lat = 0
 	case lat < -1:
-		return nil, fmt.Errorf("bus: ArbLatency = %d invalid", cfg.ArbLatency)
+		return 0, fmt.Errorf("bus: ArbLatency = %d invalid", cfg.ArbLatency)
+	}
+	return lat, nil
+}
+
+// New validates cfg and builds an idle bus at cycle 0.
+func New(cfg Config) (*Bus, error) {
+	lat, err := validate(cfg)
+	if err != nil {
+		return nil, err
 	}
 	b := &Bus{
 		cfg:         cfg,
@@ -148,6 +157,55 @@ func New(cfg Config) (*Bus, error) {
 	return b, nil
 }
 
+// Reuse reinitialises the bus in place for a new configuration: the
+// machine-pooling equivalent of New. Per-master state is recycled whenever
+// the master count fits the existing buffers (campaigns rerun a fixed
+// platform, so the steady state allocates nothing); a larger master count
+// grows them once. The configuration's Policy, Credit and Signals are
+// installed as given but NOT reset here — the caller owns their lifecycle
+// (it may be handing over freshly reseeded components, which a blanket
+// Reset would rewind to a stale seed). A reused bus is bit-identical to
+// New(cfg).
+func (b *Bus) Reuse(cfg Config) error {
+	lat, err := validate(cfg)
+	if err != nil {
+		return err
+	}
+	if cap(b.pending) >= cfg.Masters {
+		b.pending = b.pending[:cfg.Masters]
+		b.visibleAt = b.visibleAt[:cfg.Masters]
+		b.hold = b.hold[:cfg.Masters]
+		b.tag = b.tag[:cfg.Masters]
+		b.eligible = b.eligible[:cfg.Masters]
+		b.masterStats = b.masterStats[:cfg.Masters]
+		for m := 0; m < cfg.Masters; m++ {
+			b.pending[m] = false
+			b.visibleAt[m] = 0
+			b.hold[m] = 0
+			b.tag[m] = 0
+			b.eligible[m] = false
+			b.masterStats[m] = MasterStats{}
+		}
+	} else {
+		b.pending = make([]bool, cfg.Masters)
+		b.visibleAt = make([]int64, cfg.Masters)
+		b.hold = make([]int64, cfg.Masters)
+		b.tag = make([]uint64, cfg.Masters)
+		b.eligible = make([]bool, cfg.Masters)
+		b.masterStats = make([]MasterStats, cfg.Masters)
+	}
+	b.cfg = cfg
+	b.arbLatency = lat
+	b.sched, _ = cfg.Policy.(arbiter.Scheduler)
+	b.cycle = 0
+	b.holder = -1
+	b.remaining = 0
+	b.holderTag = 0
+	b.busyCycles = 0
+	b.idleCycles = 0
+	return nil
+}
+
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Bus {
 	b, err := New(cfg)
@@ -159,6 +217,10 @@ func MustNew(cfg Config) *Bus {
 
 // Cycle returns the number of completed Ticks.
 func (b *Bus) Cycle() int64 { return b.cycle }
+
+// Policy exposes the installed arbitration policy — machine reuse recycles
+// it (reseeding via arbiter.Reseeder) instead of rebuilding it per run.
+func (b *Bus) Policy() arbiter.Policy { return b.cfg.Policy }
 
 // Masters returns the number of masters.
 func (b *Bus) Masters() int { return b.cfg.Masters }

@@ -268,12 +268,44 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Reseed invalidates the whole cache and installs fresh placement and
 // replacement seeds — the start-of-run randomisation of the MBPTA platform.
+// It allocates nothing: the replacement stream is rearmed in place and the
+// line array is cleared, so a reseeded cache is bit-identical to a freshly
+// built one with the same configuration and seeds.
 func (c *Cache) Reseed(placement, replacement uint64) {
 	c.cfg.PlacementSeed = placement
 	c.cfg.ReplacementSeed = replacement
-	c.repl = rng.New(replacement)
+	c.repl.Reseed(replacement)
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}
 	c.stats = Stats{}
+}
+
+// Reuse reinitialises the cache in place for a new configuration — the
+// machine-pooling path of start-of-run randomisation. The line array is
+// recycled whenever the new geometry fits its capacity (campaigns rerun a
+// fixed platform, so the steady state allocates nothing); a larger geometry
+// grows it once. The result is bit-identical to New(cfg).
+func (c *Cache) Reuse(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	want := cfg.Sets * cfg.Ways
+	if cap(c.lines) >= want {
+		c.lines = c.lines[:want]
+		for i := range c.lines {
+			c.lines[i] = line{}
+		}
+	} else {
+		c.lines = make([]line, want)
+	}
+	c.cfg = cfg
+	c.setMask = uint64(cfg.Sets - 1)
+	c.lineShift = 0
+	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
+		c.lineShift++
+	}
+	c.repl.Reseed(cfg.ReplacementSeed)
+	c.stats = Stats{}
+	return nil
 }

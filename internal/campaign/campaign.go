@@ -46,11 +46,36 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // On failure Run reports the error of the lowest-indexed failed run and
 // stops dispatching new runs. progress may be nil.
 func Run[T any](runs, workers int, progress Progress, fn func(run int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("campaign: nil run function")
+	}
+	return RunPooled(runs, workers, progress,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, run int) (T, error) { return fn(run) })
+}
+
+// RunPooled is Run with per-worker reusable state — the allocation-free
+// campaign hot path. newState builds one S per worker before its first run
+// (one S in total in serial mode), and fn receives that worker's state with
+// every run it executes, so expensive per-run setup (a sim.Machine, cloned
+// program scratch, buffers) amortises across the worker's whole run slice.
+//
+// Because which worker executes which run is scheduling-dependent, fn must
+// be history-insensitive: fn(state, r) must return the same value whatever
+// sequence of runs the state served before — exactly the guarantee
+// sim.Machine.Reuse provides. The reuse-differential suite enforces it for
+// the simulation scenarios; custom fns owe their own proof. Everything else
+// matches Run: index-ordered results, lowest-indexed error, serialised
+// progress.
+func RunPooled[S, T any](runs, workers int, progress Progress, newState func() S, fn func(state S, run int) (T, error)) ([]T, error) {
 	if runs < 0 {
 		return nil, fmt.Errorf("campaign: runs = %d", runs)
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("campaign: nil run function")
+	}
+	if newState == nil {
+		return nil, fmt.Errorf("campaign: nil state factory")
 	}
 	out := make([]T, runs)
 	if workers <= 0 {
@@ -61,8 +86,9 @@ func Run[T any](runs, workers int, progress Progress, fn func(run int) (T, error
 	}
 
 	if workers <= 1 {
+		state := newState()
 		for r := 0; r < runs; r++ {
-			v, err := fn(r)
+			v, err := fn(state, r)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: run %d: %w", r, err)
 			}
@@ -89,12 +115,13 @@ func Run[T any](runs, workers int, progress Progress, fn func(run int) (T, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
 			for {
 				r := int(next.Add(1))
 				if r >= runs || failed.Load() {
 					return
 				}
-				v, err := fn(r)
+				v, err := fn(state, r)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()

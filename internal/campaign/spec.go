@@ -8,8 +8,18 @@ import (
 )
 
 // Scenario executes one simulation run — sim.RunMaxContention,
-// sim.RunIsolation, or any function of the same shape.
+// sim.RunIsolation, or any function of the same shape. Every call builds a
+// fresh platform; campaigns prefer RunnerScenario, which recycles one.
 type Scenario func(cfg sim.Config, prog cpu.Program, seed uint64) (sim.Result, error)
+
+// RunnerScenario executes one simulation run on a per-worker reusable
+// machine — the pooled form of Scenario, and the shape the allocation-free
+// campaign hot path wants. (*sim.Runner).MaxContention,
+// (*sim.Runner).Isolation and (*sim.Runner).Workloads are the canonical
+// instances; sim's reuse layer guarantees their results are bit-identical
+// to the fresh-machine Scenario equivalents whatever runs the runner
+// served before.
+type RunnerScenario func(rn *sim.Runner, cfg sim.Config, prog cpu.Program, seed uint64) (sim.Result, error)
 
 // Spec describes a measurement campaign: a platform configuration, a
 // program factory, a seed schedule and a size. The factory is the crux of
@@ -67,6 +77,21 @@ func (s Spec) Results(scenario Scenario) ([]sim.Result, error) {
 	})
 }
 
+// ResultsPooled runs the campaign on per-worker reusable machines and
+// returns the full per-run results in run order — bit-identical to Results
+// with the matching fresh-machine Scenario, at a fraction of the
+// allocation cost.
+func (s Spec) ResultsPooled(scenario RunnerScenario) ([]sim.Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return RunPooled(s.Runs, s.Workers, s.Progress,
+		func() *sim.Runner { return new(sim.Runner) },
+		func(rn *sim.Runner, r int) (sim.Result, error) {
+			return scenario(rn, s.Config, s.Build(r), s.seed(r))
+		})
+}
+
 // TaskCycles runs the campaign and returns each run's execution time — the
 // sample vector the MBPTA pipeline fits.
 func (s Spec) TaskCycles(scenario Scenario) ([]float64, error) {
@@ -82,9 +107,31 @@ func (s Spec) TaskCycles(scenario Scenario) ([]float64, error) {
 	})
 }
 
-// MaxContention collects execution times under the paper's WCET-estimation
-// scenario (§III.B's measurement protocol).
-func (s Spec) MaxContention() ([]float64, error) { return s.TaskCycles(sim.RunMaxContention) }
+// TaskCyclesPooled is TaskCycles on per-worker reusable machines.
+func (s Spec) TaskCyclesPooled(scenario RunnerScenario) ([]float64, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return RunPooled(s.Runs, s.Workers, s.Progress,
+		func() *sim.Runner { return new(sim.Runner) },
+		func(rn *sim.Runner, r int) (float64, error) {
+			res, err := scenario(rn, s.Config, s.Build(r), s.seed(r))
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.TaskCycles), nil
+		})
+}
 
-// Isolation collects execution times with the task running alone.
-func (s Spec) Isolation() ([]float64, error) { return s.TaskCycles(sim.RunIsolation) }
+// MaxContention collects execution times under the paper's WCET-estimation
+// scenario (§III.B's measurement protocol), each worker recycling one
+// machine across its run slice.
+func (s Spec) MaxContention() ([]float64, error) {
+	return s.TaskCyclesPooled((*sim.Runner).MaxContention)
+}
+
+// Isolation collects execution times with the task running alone, each
+// worker recycling one machine across its run slice.
+func (s Spec) Isolation() ([]float64, error) {
+	return s.TaskCyclesPooled((*sim.Runner).Isolation)
+}

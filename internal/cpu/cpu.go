@@ -339,3 +339,14 @@ func (c *Core) Reset() {
 	c.buffered = Op{}
 	c.progEnded = false
 }
+
+// Rebind swaps in a new program and resets all state and counters, keeping
+// the port binding — the machine-reuse path's equivalent of NewCore on a
+// recycled core. The rebound core is indistinguishable from a fresh one.
+func (c *Core) Rebind(prog Program) {
+	if prog == nil {
+		panic("cpu: Rebind needs a program")
+	}
+	c.prog = prog
+	c.Reset()
+}

@@ -108,22 +108,27 @@ func fig1Campaign(opts Options, specs []workload.Spec) ([]Fig1Row, error) {
 
 	// One flat job grid — benchmark-major, then configuration, then run,
 	// matching the historical nested loop so that seeds and aggregation
-	// order (and therefore every reported digit) are unchanged.
+	// order (and therefore every reported digit) are unchanged. Each worker
+	// recycles one machine across its slice of the grid (runs of one
+	// configuration are contiguous, so the pooled machine's platform rarely
+	// changes shape mid-slice).
 	jobs := len(specs) * nCfg * nRun
-	samples, err := campaign.Run(jobs, opts.Workers, opts.Progress, func(j int) (float64, error) {
-		bi, ci, r := j/(nCfg*nRun), (j/nRun)%nCfg, j%nRun
-		seed := opts.runSeed(bi*nCfg+ci, r)
-		prog := bases[bi].Clone()
-		scenario := sim.RunIsolation
-		if setups[ci].contention {
-			scenario = sim.RunMaxContention
-		}
-		res, err := scenario(setups[ci].cfg, prog, seed)
-		if err != nil {
-			return 0, fmt.Errorf("exp: %s/%s run %d: %w", specs[bi].Name, Fig1Configs[ci], r, err)
-		}
-		return float64(res.TaskCycles), nil
-	})
+	samples, err := campaign.RunPooled(jobs, opts.Workers, opts.Progress,
+		func() *sim.Runner { return new(sim.Runner) },
+		func(rn *sim.Runner, j int) (float64, error) {
+			bi, ci, r := j/(nCfg*nRun), (j/nRun)%nCfg, j%nRun
+			seed := opts.runSeed(bi*nCfg+ci, r)
+			prog := bases[bi].Clone()
+			scenario := (*sim.Runner).Isolation
+			if setups[ci].contention {
+				scenario = (*sim.Runner).MaxContention
+			}
+			res, err := scenario(rn, setups[ci].cfg, prog, seed)
+			if err != nil {
+				return 0, fmt.Errorf("exp: %s/%s run %d: %w", specs[bi].Name, Fig1Configs[ci], r, err)
+			}
+			return float64(res.TaskCycles), nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -35,17 +35,26 @@ func splitMix64(x *uint64) uint64 {
 // independent sequences.
 func New(seed uint64) *Stream {
 	var st Stream
-	sm := seed
-	st.s0 = splitMix64(&sm)
-	st.s1 = splitMix64(&sm)
-	st.s2 = splitMix64(&sm)
-	st.s3 = splitMix64(&sm)
 	// xoshiro must not start from the all-zero state; SplitMix64 cannot
-	// produce four zero outputs in a row, but guard anyway.
-	if st.s0|st.s1|st.s2|st.s3 == 0 {
-		st.s0 = 1
-	}
+	// produce four zero outputs in a row, but Reseed guards anyway.
+	st.Reseed(seed)
 	return &st
+}
+
+// Reseed reinitialises s in place to the exact state New(seed) returns.
+// It exists for state pooling: components that are recycled between
+// simulation runs (caches, arbitration policies) re-arm their streams
+// without allocating, and a reseeded stream is bit-identical to a fresh
+// one — the property the machine-reuse differential tests pin down.
+func (s *Stream) Reseed(seed uint64) {
+	sm := seed
+	s.s0 = splitMix64(&sm)
+	s.s1 = splitMix64(&sm)
+	s.s2 = splitMix64(&sm)
+	s.s3 = splitMix64(&sm)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
+	}
 }
 
 // Split derives an independent child stream. The child's sequence does not

@@ -226,13 +226,79 @@ func (c *Compiled) runSeed(cfg sim.Config, seed uint64, probe sim.Probe) (sim.Re
 	}
 }
 
+// Pool is one worker's reusable execution state for a compiled scenario: a
+// recycled sim.Machine (via sim.Runner) plus one program instance per core,
+// rewound — not recloned — between runs. Campaigns hand each worker one
+// Pool so that the per-run cost is a machine reinitialisation instead of a
+// full platform build; results are bit-identical to the fresh-machine
+// RunSeed* family whatever run sequence the pool served (the reuse
+// contract of sim.Machine.Reuse, enforced corpus-wide by
+// TestReuseDifferential and the scengen reuse oracle). A Pool is a
+// single-goroutine object.
+type Pool struct {
+	c     *Compiled
+	rn    sim.Runner
+	progs []cpu.Program
+}
+
+// NewPool builds a reusable execution state: one program instance per
+// participating core.
+func (c *Compiled) NewPool() *Pool {
+	p := &Pool{c: c, progs: make([]cpu.Program, len(c.protos))}
+	for i := range c.protos {
+		p.progs[i] = c.Program(i)
+	}
+	return p
+}
+
+// rewind readies every program for the next run. The Program contract
+// makes Reset equivalent to a fresh clone: same stream, cursor at zero.
+func (p *Pool) rewind() {
+	for _, prog := range p.progs {
+		if prog != nil {
+			prog.Reset()
+		}
+	}
+}
+
+// RunSeed executes one run on the pool's recycled machine, on the spec's
+// configured engine.
+func (p *Pool) RunSeed(seed uint64) (sim.Result, error) {
+	cfg := p.c.Config
+	return p.runSeed(cfg, seed, nil)
+}
+
+// RunSeedProbed is the pool's counterpart of Compiled.RunSeedProbed: an
+// explicit engine choice and a step-granularity observer.
+func (p *Pool) RunSeedProbed(seed uint64, perCycle bool, probe sim.Probe) (sim.Result, error) {
+	cfg := p.c.Config
+	cfg.ForcePerCycle = perCycle
+	return p.runSeed(cfg, seed, probe)
+}
+
+func (p *Pool) runSeed(cfg sim.Config, seed uint64, probe sim.Probe) (sim.Result, error) {
+	p.rewind()
+	switch p.c.Spec.Run {
+	case RunIsolation:
+		return p.rn.IsolationProbed(cfg, p.progs[p.c.tua], seed, probe)
+	case RunWCET:
+		return p.rn.MaxContentionProbed(cfg, p.progs[p.c.tua], seed, probe)
+	case RunWorkloads:
+		return p.rn.WorkloadsProbed(cfg, p.progs, seed, probe)
+	default:
+		return sim.Result{}, fmt.Errorf("scenario: unknown run kind %q", p.c.Spec.Run)
+	}
+}
+
 // Results executes the whole seed schedule through the campaign engine and
 // returns per-seed results in schedule order — bit-identical at any worker
-// count, exactly like every other campaign in the module.
+// count, exactly like every other campaign in the module. Each worker runs
+// its share of the schedule on one pooled machine.
 func (c *Compiled) Results(workers int, progress campaign.Progress) ([]sim.Result, error) {
-	return campaign.Run(len(c.Seeds), workers, progress, func(r int) (sim.Result, error) {
-		return c.RunSeed(c.Seeds[r])
-	})
+	return campaign.RunPooled(len(c.Seeds), workers, progress, c.NewPool,
+		func(p *Pool, r int) (sim.Result, error) {
+			return p.RunSeed(c.Seeds[r])
+		})
 }
 
 // CampaignSpec adapts an isolation or wcet scenario onto campaign.Spec —

@@ -45,7 +45,14 @@ func (v Violation) String() string {
 //     configuration and seed, run in isolation, finishes no later than under
 //     contention, with identical instruction/load/store/atomic counts,
 //     identical TuA bus request/grant/completion counts and identical cache
-//     hit rates — contention may shift the TuA's timing, never its work.
+//     hit rates — contention may shift the TuA's timing, never its work;
+//   - reuse: the run repeated on a pooled, recycled machine
+//     (scenario.Pool, the campaign engine's per-worker state) yields a
+//     Result field-for-field identical to the fresh machine's. The pool is
+//     shared across the seed schedule — and driven twice on the first seed,
+//     so even single-seed scenarios compare a genuinely reused machine —
+//     which makes the fuzzing campaign guard the pooling layer with the
+//     same differential rigour as the stepping engine.
 //
 // The returned error reports infrastructure failures only (the spec failed
 // to compile); every simulation-level surprise is a Violation.
@@ -54,14 +61,15 @@ func Check(sp scenario.Spec) ([]Violation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scengen: %s: %w", sp.Name, err)
 	}
+	pool := c.NewPool()
 	var out []Violation
-	for _, seed := range c.Seeds {
-		out = append(out, checkSeed(c, seed)...)
+	for i, seed := range c.Seeds {
+		out = append(out, checkSeed(c, pool, seed, i > 0)...)
 	}
 	return out, nil
 }
 
-func checkSeed(c *scenario.Compiled, seed uint64) []Violation {
+func checkSeed(c *scenario.Compiled, pool *scenario.Pool, seed uint64, warm bool) []Violation {
 	var out []Violation
 	obs := newObserver(c)
 	fast, err := c.RunSeedProbed(seed, false, obs.probe)
@@ -80,8 +88,32 @@ func checkSeed(c *scenario.Compiled, seed uint64) []Violation {
 			fast.TaskCycles, slow.TaskCycles, fast.WallCycles, slow.WallCycles)})
 	}
 
+	out = append(out, checkReuse(pool, seed, fast, warm)...)
 	out = append(out, checkMetamorphic(c, seed, fast)...)
 	return out
+}
+
+// checkReuse is the machine-pooling oracle: the same (spec, seed) run on
+// the schedule-shared pool must reproduce the fresh fast-engine Result
+// exactly. A cold pool's first pass builds the machine (trivially equal);
+// passing twice then compares a machine that already served a full run.
+func checkReuse(pool *scenario.Pool, seed uint64, fresh sim.Result, warm bool) []Violation {
+	passes := 2
+	if warm {
+		passes = 1
+	}
+	for i := 0; i < passes; i++ {
+		reused, err := pool.RunSeedProbed(seed, false, nil)
+		if err != nil {
+			return []Violation{{"reuse", seed, fmt.Sprintf("pooled machine: %v", err)}}
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			return []Violation{{"reuse", seed, fmt.Sprintf(
+				"reused machine diverges from fresh: task cycles %d vs %d, wall %d vs %d",
+				reused.TaskCycles, fresh.TaskCycles, reused.WallCycles, fresh.WallCycles)}}
+		}
+	}
+	return nil
 }
 
 // checkMetamorphic reruns the spec's TuA program in isolation (same

@@ -28,6 +28,11 @@ type Machine struct {
 	live      []*cpu.Core // non-nil cores, for the fast path's hot loops
 	cycle     int64
 	busNext   int64 // bus horizon recorded by the last nextEventCycle
+
+	// onComplete is the bus completion callback, bound once at construction
+	// so Reuse can hand the same func value back to the bus instead of
+	// allocating a fresh closure per run.
+	onComplete func(master int, tag uint64)
 }
 
 // NewMachine builds a platform running programs[i] on core i. A nil program
@@ -65,17 +70,18 @@ func NewMachine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, erro
 		return nil, err
 	}
 
+	m.onComplete = func(master int, _ uint64) {
+		if p := m.ports[master]; p != nil {
+			p.onComplete()
+		}
+	}
 	m.sharedBus, err = bus.New(bus.Config{
-		Masters: cfg.Cores,
-		MaxHold: cfg.Latency.MaxHold(),
-		Policy:  cfg.buildPolicy(policySeed),
-		Credit:  credit,
-		Signals: m.signals,
-		OnComplete: func(master int, _ uint64) {
-			if p := m.ports[master]; p != nil {
-				p.onComplete()
-			}
-		},
+		Masters:    cfg.Cores,
+		MaxHold:    cfg.Latency.MaxHold(),
+		Policy:     cfg.buildPolicy(policySeed),
+		Credit:     credit,
+		Signals:    m.signals,
+		OnComplete: m.onComplete,
 	})
 	if err != nil {
 		return nil, err
@@ -149,10 +155,12 @@ func (m *Machine) L2(i int) *cache.Cache { return m.l2s[i] }
 func (m *Machine) Config() Config { return m.cfg }
 
 // Done reports whether every core with a program has finished. Injector
-// masters never finish; they are excluded.
+// masters never finish; they are excluded. m.live is exactly the non-nil
+// cores, so iterating it (not the sparse slot vector) keeps this hot-loop
+// check proportional to the programs actually running.
 func (m *Machine) Done() bool {
-	for _, c := range m.cores {
-		if c != nil && !c.Done() {
+	for _, c := range m.live {
+		if !c.Done() {
 			return false
 		}
 	}
@@ -164,10 +172,8 @@ func (m *Machine) Done() bool {
 // arbitrates, updates budgets and delivers completions.
 func (m *Machine) Tick() {
 	m.cycle++
-	for _, c := range m.cores {
-		if c != nil {
-			c.Tick()
-		}
+	for _, c := range m.live {
+		c.Tick()
 	}
 	for _, i := range m.injectors {
 		if m.sharedBus.CanPost(i) {

@@ -173,7 +173,12 @@ func (p *port) onComplete() {
 			p.machine.cores[p.id].Resume()
 		}
 	case inflightStore:
-		p.storeBuf = p.storeBuf[1:]
+		// Pop by shifting down instead of re-slicing from the front: the
+		// backing array stays anchored, so the buffer reaches its depth
+		// capacity once and then never allocates again (the campaign hot
+		// path is allocation-free after warm-up).
+		n := copy(p.storeBuf, p.storeBuf[1:])
+		p.storeBuf = p.storeBuf[:n]
 		if p.stall == stallStoreBuf {
 			p.storeBuf = append(p.storeBuf, p.blockedStore)
 			p.stall = stallNone
@@ -189,6 +194,24 @@ func (p *port) onComplete() {
 		panic("sim: completion with no transaction in flight")
 	}
 	p.issue()
+}
+
+// reset returns the port to its just-built state for a new run, keeping the
+// machine binding and the store buffer's backing array (machine reuse must
+// not allocate). l1/l2 rebind the caches, which reuse may have rebuilt.
+func (p *port) reset(l1, l2 *cache.Cache) {
+	p.l1, p.l2 = l1, l2
+	p.storeBuf = p.storeBuf[:0]
+	p.blockedStore = 0
+	p.inflight = inflightNone
+	p.inflightAddr = 0
+	p.pendingLoad, p.hasPending = 0, false
+	p.pendingAtom, p.hasAtomic = 0, false
+	p.stall = stallNone
+	p.l1Misses = 0
+	p.storesSent = 0
+	p.loadsSent = 0
+	p.atomicsSent = 0
 }
 
 // drained reports whether the port has no queued or in-flight work.

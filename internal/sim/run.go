@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"creditbus/internal/bus"
-	"creditbus/internal/core"
 	"creditbus/internal/cpu"
 	"creditbus/internal/mem"
 )
@@ -90,17 +89,8 @@ func RunIsolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
 
 // RunIsolationProbed is RunIsolation with a step-granularity observer.
 func RunIsolationProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
-	cfg.Mode = core.OperationMode
-	programs := make([]cpu.Program, cfg.Cores)
-	programs[cfg.TuA] = prog
-	m, err := NewMachine(cfg, programs, seed)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := runProbed(m, DefaultLimit, probe); err != nil {
-		return Result{}, err
-	}
-	return m.result(cfg.TuA), nil
+	var r Runner // fresh runner = fresh machine: the unpooled reference path
+	return r.IsolationProbed(cfg, prog, seed, probe)
 }
 
 // RunMaxContention executes prog on cfg.TuA against Table I contention
@@ -114,17 +104,8 @@ func RunMaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error)
 // RunMaxContentionProbed is RunMaxContention with a step-granularity
 // observer.
 func RunMaxContentionProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
-	cfg.Mode = core.WCETMode
-	programs := make([]cpu.Program, cfg.Cores)
-	programs[cfg.TuA] = prog
-	m, err := NewMachine(cfg, programs, seed)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := runProbed(m, DefaultLimit, probe); err != nil {
-		return Result{}, err
-	}
-	return m.result(cfg.TuA), nil
+	var r Runner
+	return r.MaxContentionProbed(cfg, prog, seed, probe)
 }
 
 // emptyProgram reports whether p yields no operations. The probe consumes
@@ -152,36 +133,8 @@ func RunWorkloads(cfg Config, programs []cpu.Program, seed uint64) (Result, erro
 
 // RunWorkloadsProbed is RunWorkloads with a step-granularity observer.
 func RunWorkloadsProbed(cfg Config, programs []cpu.Program, seed uint64, probe Probe) (Result, error) {
-	cfg.Mode = core.OperationMode
-	if len(programs) != cfg.Cores {
-		return Result{}, fmt.Errorf("sim: RunWorkloads needs %d programs", cfg.Cores)
-	}
-	if programs[cfg.TuA] == nil {
-		return Result{}, fmt.Errorf("sim: RunWorkloads needs a program on the TuA core %d", cfg.TuA)
-	}
-	for i, p := range programs {
-		if p == nil {
-			continue
-		}
-		if emptyProgram(p) {
-			return Result{}, fmt.Errorf("sim: RunWorkloads: program on core %d is empty", i)
-		}
-	}
-	m, err := NewMachine(cfg, programs, seed)
-	if err != nil {
-		return Result{}, err
-	}
-	tua := m.cores[cfg.TuA]
-	for !tua.Done() {
-		if m.cycle >= DefaultLimit {
-			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
-		}
-		m.step(DefaultLimit)
-		if probe != nil {
-			probe(m)
-		}
-	}
-	return m.result(cfg.TuA), nil
+	var r Runner
+	return r.WorkloadsProbed(cfg, programs, seed, probe)
 }
 
 // LoopedProgram wraps a trace so that it restarts forever — used for

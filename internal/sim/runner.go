@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"creditbus/internal/core"
+	"creditbus/internal/cpu"
+)
+
+// Runner owns one reusable Machine plus the scratch state a measurement
+// worker needs between runs: the per-core program vector handed to the
+// machine. A campaign worker keeps one Runner for its whole run slice; the
+// first run builds the machine and every later run reinitialises it in
+// place (Machine.Reuse), so the steady-state hot path allocates nothing.
+//
+// Runner results are bit-identical to the package-level Run functions —
+// those functions ARE a fresh Runner per call — which the reuse-differential
+// suite asserts over the corpus and the randomized scenario space.
+//
+// A Runner is a single-goroutine object, exactly like the Machine it owns.
+// The zero value is ready to use.
+type Runner struct {
+	m        *Machine
+	programs []cpu.Program // scratch per-core vector for single-program scenarios
+}
+
+// machine returns the runner's machine reinitialised for (cfg, programs,
+// seed), building it on first use. On error the machine is discarded: a
+// partially reinitialised platform must never run.
+func (r *Runner) machine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, error) {
+	if r.m == nil {
+		m, err := NewMachine(cfg, programs, seed)
+		if err != nil {
+			return nil, err
+		}
+		r.m = m
+		return m, nil
+	}
+	if err := r.m.Reuse(cfg, programs, seed); err != nil {
+		r.m = nil
+		return nil, err
+	}
+	return r.m, nil
+}
+
+// scratch returns the runner's per-core program vector, cleared and sized
+// to cores.
+func (r *Runner) scratch(cores int) []cpu.Program {
+	if cap(r.programs) < cores {
+		r.programs = make([]cpu.Program, cores)
+	}
+	p := r.programs[:cores]
+	for i := range p {
+		p[i] = nil
+	}
+	return p
+}
+
+// Isolation executes prog alone on cfg.TuA with every other core idle —
+// the paper's ISO scenario — on the runner's recycled machine.
+func (r *Runner) Isolation(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	return r.IsolationProbed(cfg, prog, seed, nil)
+}
+
+// IsolationProbed is Isolation with a step-granularity observer.
+func (r *Runner) IsolationProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
+	cfg.Mode = core.OperationMode
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	programs := r.scratch(cfg.Cores)
+	programs[cfg.TuA] = prog
+	m, err := r.machine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := runProbed(m, DefaultLimit, probe); err != nil {
+		return Result{}, err
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// MaxContention executes prog on cfg.TuA against Table I contention
+// injectors on every other core — the paper's CON scenario — on the
+// runner's recycled machine.
+func (r *Runner) MaxContention(cfg Config, prog cpu.Program, seed uint64) (Result, error) {
+	return r.MaxContentionProbed(cfg, prog, seed, nil)
+}
+
+// MaxContentionProbed is MaxContention with a step-granularity observer.
+func (r *Runner) MaxContentionProbed(cfg Config, prog cpu.Program, seed uint64, probe Probe) (Result, error) {
+	cfg.Mode = core.WCETMode
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	programs := r.scratch(cfg.Cores)
+	programs[cfg.TuA] = prog
+	m, err := r.machine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := runProbed(m, DefaultLimit, probe); err != nil {
+		return Result{}, err
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// Workloads executes one program per core (operation-mode contention) on
+// the runner's recycled machine, running until the TuA finishes.
+func (r *Runner) Workloads(cfg Config, programs []cpu.Program, seed uint64) (Result, error) {
+	return r.WorkloadsProbed(cfg, programs, seed, nil)
+}
+
+// WorkloadsProbed is Workloads with a step-granularity observer. The
+// programs slice is only read; the runner does not retain it.
+func (r *Runner) WorkloadsProbed(cfg Config, programs []cpu.Program, seed uint64, probe Probe) (Result, error) {
+	cfg.Mode = core.OperationMode
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(programs) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs %d programs", cfg.Cores)
+	}
+	if programs[cfg.TuA] == nil {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs a program on the TuA core %d", cfg.TuA)
+	}
+	for i, p := range programs {
+		if p == nil {
+			continue
+		}
+		if emptyProgram(p) {
+			return Result{}, fmt.Errorf("sim: RunWorkloads: program on core %d is empty", i)
+		}
+	}
+	m, err := r.machine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	tua := m.cores[cfg.TuA]
+	for !tua.Done() {
+		if m.cycle >= DefaultLimit {
+			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
+		}
+		m.step(DefaultLimit)
+		if probe != nil {
+			probe(m)
+		}
+	}
+	return m.result(cfg.TuA), nil
+}
