@@ -1,8 +1,9 @@
 // Command simbench measures the simulator's hot paths — the per-cycle
 // reference engine vs the event-horizon stepping engine, single-run and at
-// the measurement-campaign level, plus the allocation profile and parallel
-// throughput of the pooled campaign engine — and writes the results to
-// BENCH_sim.json. The file is committed so the performance trajectory is
+// the measurement-campaign level, the allocation profile and parallel
+// throughput of the pooled campaign engine, and the fast engine's
+// core-count scaling curve (cycles/sec at 4–1024 requestors) — and writes
+// the results to BENCH_sim.json. The file is committed so the performance trajectory is
 // tracked across PRs; regenerate it on a quiet machine with
 //
 //	go run ./cmd/simbench
@@ -14,10 +15,11 @@
 // which re-measures and fails (non-zero exit, nothing written) if the fast
 // engine's speedups drop below -threshold (default 0.85×) of the recorded
 // baseline, if the pooled campaign path's allocations per run grow beyond
-// 1/threshold of the baseline, or if the parallel campaign's scaling over
+// 1/threshold of the baseline, if the parallel campaign's scaling over
 // serial falls below threshold × the baseline's (skipped with a notice
 // when worker counts differ — absolute runs/sec are machine-dependent,
-// scaling ratios are not). A missing or malformed baseline, or one written
+// scaling ratios are not), or if the 1024-vs-64-core throughput
+// degradation grows beyond the baseline's ratio or the absolute 16× cap. A missing or malformed baseline, or one written
 // by a different schema version, is an error, never a reason to rewrite.
 //
 // Profiling hooks for optimisation work: -cpuprofile / -memprofile write
@@ -51,10 +53,29 @@ import (
 // SchemaVersion identifies the BENCH_sim.json layout. Bump it whenever the
 // Report struct changes shape so the gate fails with a clear
 // regenerate-the-baseline message instead of comparing zero values.
-const SchemaVersion = 2
+const SchemaVersion = 3
+
+// maxCoreDegradation is the absolute scale-out bar, independent of any
+// baseline: stepping a 1024-core machine must keep more than 1/16 of the
+// 64-core machine's sim-cycles/sec. The eligibility bitsets and flat
+// per-core state exist to hold this; a linear-in-cores decision loop
+// busts it immediately.
+const maxCoreDegradation = 16.0
+
+// scalingCores are the sample points on the core-scaling curve: the
+// paper's evaluated platforms (4, 16) plus the scale-out targets.
+var scalingCores = []int{4, 16, 64, 256, 1024}
 
 // Engine is one stepping engine's cost in a benchmark scenario.
 type Engine struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	SimCyclesPerOp float64 `json:"sim_cycles_per_op"`
+	SimCyclesPerS  float64 `json:"sim_cycles_per_sec"`
+}
+
+// CorePoint is one core-count sample on the scaling curve.
+type CorePoint struct {
+	Cores          int     `json:"cores"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	SimCyclesPerOp float64 `json:"sim_cycles_per_op"`
 	SimCyclesPerS  float64 `json:"sim_cycles_per_sec"`
@@ -88,6 +109,17 @@ type Report struct {
 		Fast     Engine  `json:"fast"`
 		Speedup  float64 `json:"speedup"`
 	} `json:"machine_step"`
+
+	// CoreScaling sweeps the fast engine's stepping cost across core
+	// counts on the max-contention scenario. degradation_1024_vs_64 is
+	// the 64-core sim-cycles/sec over the 1024-core rate — the number the
+	// scale-out refactor is accountable for. It gates both relatively
+	// (against the baseline's ratio) and absolutely (< 16×).
+	CoreScaling struct {
+		Scenario    string      `json:"scenario"`
+		Points      []CorePoint `json:"points"`
+		Degradation float64     `json:"degradation_1024_vs_64"`
+	} `json:"core_scaling"`
 
 	// CollectMaxContention is the §III.B measurement campaign (canrdr, CBA):
 	// ns_per_op is the cost of one full run. Workers is pinned to 1 here so
@@ -157,6 +189,48 @@ func measureStep(fast bool) (Engine, error) {
 		SimCyclesPerOp: perOp,
 		SimCyclesPerS:  perOp / ns * 1e9,
 	}, nil
+}
+
+// measureScaling times the fast engine's Step on the max-contention
+// scenario widened to the given core count.
+func measureScaling(cores int) (CorePoint, error) {
+	var cycles int64
+	var buildErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		m, err := sim.NewScalingBenchMachine(cores)
+		if err != nil {
+			buildErr = err
+			b.SkipNow()
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Step()
+		}
+		cycles = m.Cycle()
+	})
+	if buildErr != nil {
+		return CorePoint{}, buildErr
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	perOp := float64(cycles) / float64(r.N)
+	return CorePoint{
+		Cores:          cores,
+		NsPerOp:        ns,
+		SimCyclesPerOp: perOp,
+		SimCyclesPerS:  perOp / ns * 1e9,
+	}, nil
+}
+
+// scalePoint returns the recorded sample for the given core count, or a
+// zero point when the sweep did not include it.
+func scalePoint(rep Report, cores int) CorePoint {
+	for _, p := range rep.CoreScaling.Points {
+		if p.Cores == cores {
+			return p
+		}
+	}
+	return CorePoint{}
 }
 
 // benchConfig is the shared campaign scenario: canrdr under maximum
@@ -304,6 +378,19 @@ var measureAll = func(runs int, log io.Writer) (Report, error) {
 	}
 	rep.MachineStep.Speedup = rep.MachineStep.Fast.SimCyclesPerS / rep.MachineStep.PerCycle.SimCyclesPerS
 
+	rep.CoreScaling.Scenario = "canrdr max contention (WCET mode, CBA)"
+	for _, n := range scalingCores {
+		fmt.Fprintf(log, "simbench: core scaling (%d cores)...\n", n)
+		p, err := measureScaling(n)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.CoreScaling.Points = append(rep.CoreScaling.Points, p)
+	}
+	if p64, p1024 := scalePoint(rep, 64), scalePoint(rep, 1024); p1024.SimCyclesPerS > 0 {
+		rep.CoreScaling.Degradation = p64.SimCyclesPerS / p1024.SimCyclesPerS
+	}
+
 	fmt.Fprintln(log, "simbench: CollectMaxContention (per-cycle)...")
 	rep.CollectMaxContention.Workload = "canrdr"
 	rep.CollectMaxContention.Runs = runs
@@ -377,6 +464,10 @@ func loadBaseline(path string) (Report, error) {
 		return Report{}, fmt.Errorf("baseline %s is malformed: non-positive speedups (%v, %v)",
 			path, rep.MachineStep.Speedup, rep.CollectMaxContention.Speedup)
 	}
+	if rep.CoreScaling.Degradation <= 0 {
+		return Report{}, fmt.Errorf("baseline %s is malformed: non-positive core-scaling degradation (%v)",
+			path, rep.CoreScaling.Degradation)
+	}
 	return rep, nil
 }
 
@@ -398,6 +489,7 @@ func checkAgainst(baseline, measured Report, threshold float64, stdout io.Writer
 		{"CollectMaxContention speedup", baseline.CollectMaxContention.Speedup, measured.CollectMaxContention.Speedup, true, "x"},
 		{"reused-run allocs/op", float64(baseline.Allocations.ReusedRun.AllocsPerOp), float64(measured.Allocations.ReusedRun.AllocsPerOp), false, ""},
 		{"campaign allocs/run", float64(baseline.ParallelCampaign.AllocsPerRun), float64(measured.ParallelCampaign.AllocsPerRun), false, ""},
+		{"1024v64-core degradation", baseline.CoreScaling.Degradation, measured.CoreScaling.Degradation, false, "x"},
 	}
 	if baseline.ParallelCampaign.Workers == measured.ParallelCampaign.Workers &&
 		baseline.ParallelCampaign.Workers > 1 {
@@ -425,6 +517,16 @@ func checkAgainst(baseline, measured Report, threshold float64, stdout io.Writer
 		fmt.Fprintf(stdout, "%-30s baseline %.2f%s  measured %.2f%s  limit %.2f%s  %s\n",
 			g.name, g.base, g.unit, g.cur, g.unit, floor, g.unit, status)
 	}
+	// The scale-out bar is also absolute, not just relative to the
+	// baseline: a baseline regenerated on a degraded build must not
+	// grandfather a >16× cliff past the gate.
+	absStatus := "ok"
+	if measured.CoreScaling.Degradation >= maxCoreDegradation {
+		absStatus = "REGRESSION"
+		failed++
+	}
+	fmt.Fprintf(stdout, "%-30s cap %.2fx  measured %.2fx  %s\n",
+		"core degradation (absolute)", maxCoreDegradation, measured.CoreScaling.Degradation, absStatus)
 	if failed > 0 {
 		return fmt.Errorf("%d perf gate(s) outside %.2fx of baseline", failed, threshold)
 	}
@@ -516,6 +618,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "machine step: %.1fx (%.0f vs %.0f sim-cycles/s)\n",
 		measured.MachineStep.Speedup, measured.MachineStep.Fast.SimCyclesPerS, measured.MachineStep.PerCycle.SimCyclesPerS)
+	if p64, p1024 := scalePoint(measured, 64), scalePoint(measured, 1024); p1024.Cores != 0 {
+		fmt.Fprintf(stdout, "core scaling: %.0f sim-cycles/s at 64 cores vs %.0f at 1024 (%.1fx degradation, cap %.0fx)\n",
+			p64.SimCyclesPerS, p1024.SimCyclesPerS, measured.CoreScaling.Degradation, maxCoreDegradation)
+	}
 	fmt.Fprintf(stdout, "CollectMaxContention: %.1fx (%.2fms vs %.2fms per run)\n",
 		measured.CollectMaxContention.Speedup,
 		measured.CollectMaxContention.Fast.NsPerOp/1e6, measured.CollectMaxContention.PerCycle.NsPerOp/1e6)

@@ -23,6 +23,12 @@ func stubReport(step, collect float64) Report {
 	r.ParallelCampaign.ParallelRunsPerSec = 3000
 	r.ParallelCampaign.Scaling = 3.0
 	r.ParallelCampaign.AllocsPerRun = 12
+	r.CoreScaling.Scenario = "canrdr max contention (WCET mode, CBA)"
+	r.CoreScaling.Points = []CorePoint{
+		{Cores: 64, NsPerOp: 100, SimCyclesPerOp: 1, SimCyclesPerS: 1e7},
+		{Cores: 1024, NsPerOp: 600, SimCyclesPerOp: 1, SimCyclesPerS: 1e7 / 6},
+	}
+	r.CoreScaling.Degradation = 6.0
 	return r
 }
 
@@ -45,8 +51,16 @@ func writeBaseline(t *testing.T, content string) string {
 }
 
 const goodBaseline = `{
-  "schema_version": 2,
+  "schema_version": 3,
   "go_version": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 4, "gomaxprocs": 4,
+  "core_scaling": {
+    "scenario": "canrdr max contention (WCET mode, CBA)",
+    "points": [
+      {"cores": 64, "ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
+      {"cores": 1024, "ns_per_op": 600, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1.667e6}
+    ],
+    "degradation_1024_vs_64": 6.0
+  },
   "machine_step": {
     "per_cycle": {"ns_per_op": 100, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 1e7},
     "fast": {"ns_per_op": 20, "sim_cycles_per_op": 1, "sim_cycles_per_sec": 5e7},
@@ -78,8 +92,8 @@ func TestCheckPassesAtBaseline(t *testing.T) {
 	if err := run([]string{"-check", "-baseline", path}, &out, &errb); err != nil {
 		t.Fatalf("gate failed at baseline speed: %v\n%s", err, out.String())
 	}
-	if strings.Count(out.String(), " ok") != 5 {
-		t.Errorf("expected five ok gates:\n%s", out.String())
+	if strings.Count(out.String(), " ok") != 7 {
+		t.Errorf("expected seven ok gates:\n%s", out.String())
 	}
 }
 
@@ -131,6 +145,42 @@ func TestCheckFailsOnAllocRegression(t *testing.T) {
 	}
 }
 
+func TestCheckFailsOnDegradationRegression(t *testing.T) {
+	// Core-count degradation regresses by GROWING: 6 → 7.5 busts the
+	// baseline-relative limit of 6/0.85 ≈ 7.06 while staying under the
+	// absolute 16× cap, so exactly one gate fires.
+	rep := stubReport(5.0, 5.0)
+	rep.CoreScaling.Degradation = 7.5
+	stubMeasure(t, rep)
+	path := writeBaseline(t, goodBaseline)
+	var out, errb strings.Builder
+	err := run([]string{"-check", "-baseline", path}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "1 perf gate(s)") {
+		t.Fatalf("degradation regression not caught: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1024v64-core degradation") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("degradation gate row missing:\n%s", out.String())
+	}
+}
+
+func TestCheckFailsAbsoluteDegradationCap(t *testing.T) {
+	// Even a baseline that already records a >16× cliff must not
+	// grandfather it: the absolute cap fires on the measured value alone.
+	bad := strings.Replace(goodBaseline, `"degradation_1024_vs_64": 6.0`, `"degradation_1024_vs_64": 20.0`, 1)
+	rep := stubReport(5.0, 5.0)
+	rep.CoreScaling.Degradation = 18.0 // within baseline's 20/0.85, over the cap
+	stubMeasure(t, rep)
+	path := writeBaseline(t, bad)
+	var out, errb strings.Builder
+	err := run([]string{"-check", "-baseline", path}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "1 perf gate(s)") {
+		t.Fatalf("absolute degradation cap not enforced: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "core degradation (absolute)") {
+		t.Errorf("absolute cap row missing:\n%s", out.String())
+	}
+}
+
 func TestCheckFailsOnScalingRegression(t *testing.T) {
 	rep := stubReport(5.0, 5.0)
 	rep.ParallelCampaign.Scaling = 1.1 // worker pool collapsed to serial speed
@@ -170,8 +220,9 @@ func TestCheckRejectsBadBaselines(t *testing.T) {
 		{"malformed json", `{"machine_step": `, "malformed"},
 		{"unknown field", `{"surprise": 1}`, "malformed"},
 		{"missing schema version", `{"machine_step": {"speedup": 5}, "collect_max_contention": {"speedup": 5}}`, "schema version 0"},
-		{"old schema version", `{"schema_version": 1}`, "schema version 1"},
-		{"zero speedups", `{"schema_version": 2, "machine_step": {"speedup": 0}, "collect_max_contention": {"speedup": 0}}`, "non-positive"},
+		{"old schema version", `{"schema_version": 2}`, "schema version 2"},
+		{"zero speedups", `{"schema_version": 3, "machine_step": {"speedup": 0}, "collect_max_contention": {"speedup": 0}}`, "non-positive"},
+		{"zero degradation", `{"schema_version": 3, "machine_step": {"speedup": 5}, "collect_max_contention": {"speedup": 5}}`, "non-positive core-scaling degradation"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -8,7 +8,17 @@
 // it) computes the set of masters that are pending and eligible this cycle
 // and asks the policy to pick one. All policies are deterministic given their
 // rng seed, which is what makes whole-simulation runs reproducible.
+//
+// Every policy in this package selects from an eligibility bitset
+// (BitPicker) in O(words + set bits) rather than scanning all masters, which
+// is what lets arbitration cost stay flat as the population grows to
+// hundreds of requestors. The pre-bitset linear scans survive verbatim as
+// unexported reference implementations (reference.go); the differential
+// suite asserts pick-for-pick and rng-draw-order equality against them at
+// every core count.
 package arbiter
+
+import "creditbus/internal/bitset"
 
 // Policy is a bus arbitration policy.
 //
@@ -29,6 +39,17 @@ type Policy interface {
 	OnGrant(m int, cycle int64)
 	// Reset returns the policy to its initial state (rng state included).
 	Reset()
+}
+
+// BitPicker is the bitset form of Pick, implemented by every policy in this
+// package. The semantics are identical to Pick with eligible[m] ⇔ bit m set
+// — same winner, same tie-breaks, same rng draws — but selection iterates
+// only the set bits, so a decision over 1024 masters with a handful of
+// contenders costs a few word scans instead of a 1024-entry loop. The
+// eligible set covers exactly the policy's master count (bits ≥ n clear);
+// implementations must not retain or mutate it.
+type BitPicker interface {
+	PickBits(eligible bitset.Set, cycle int64) (m int, ok bool)
 }
 
 // Scheduler is optionally implemented by policies that can only grant at
@@ -61,4 +82,20 @@ func countEligible(eligible []bool) int {
 		}
 	}
 	return n
+}
+
+// fillBits writes eligible[0:n] into dst (entries past n, which a Policy
+// must ignore, are dropped) and returns dst. It is the boolean-slice
+// adapter behind each policy's legacy Pick.
+func fillBits(dst bitset.Set, eligible []bool, n int) bitset.Set {
+	dst.Reset()
+	if len(eligible) < n {
+		n = len(eligible)
+	}
+	for i := 0; i < n; i++ {
+		if eligible[i] {
+			dst.Set(i)
+		}
+	}
+	return dst
 }

@@ -1,11 +1,18 @@
 package arbiter
 
+import (
+	"math/bits"
+
+	"creditbus/internal/bitset"
+)
+
 // FIFO grants requests in arrival order. Ties (requests becoming arbitrable
 // on the same cycle) are broken by master index, which models the fixed
 // position of masters on the request wires.
 type FIFO struct {
 	n       int
 	arrival []int64 // arrival cycle per master; -1 when no request recorded
+	scratch bitset.Set
 }
 
 // NewFIFO builds a FIFO policy over n masters.
@@ -13,7 +20,7 @@ func NewFIFO(n int) *FIFO {
 	if n <= 0 {
 		panic("arbiter: FIFO needs n > 0")
 	}
-	f := &FIFO{n: n, arrival: make([]int64, n)}
+	f := &FIFO{n: n, arrival: make([]int64, n), scratch: bitset.New(n)}
 	f.Reset()
 	return f
 }
@@ -29,20 +36,28 @@ func (f *FIFO) OnRequest(m int, cycle int64) {
 }
 
 // Pick grants the eligible master with the oldest recorded arrival.
-func (f *FIFO) Pick(eligible []bool, _ int64) (int, bool) {
+func (f *FIFO) Pick(eligible []bool, cycle int64) (int, bool) {
+	return f.PickBits(fillBits(f.scratch, eligible, f.n), cycle)
+}
+
+// PickBits implements BitPicker: minimum arrival over the set bits, visited
+// in ascending master order so equal arrivals break toward the lower index
+// exactly as the reference scan does (strict < keeps the first minimum).
+func (f *FIFO) PickBits(eligible bitset.Set, _ int64) (int, bool) {
 	best, bestAt := -1, int64(0)
-	for m := 0; m < f.n && m < len(eligible); m++ {
-		if !eligible[m] {
-			continue
-		}
-		at := f.arrival[m]
-		if at < 0 {
-			// Eligible but no arrival recorded (e.g. policy attached
-			// mid-run); treat as arriving now so it still gets served.
-			at = 1<<62 - 1
-		}
-		if best == -1 || at < bestAt {
-			best, bestAt = m, at
+	for w, word := range eligible {
+		for word != 0 {
+			m := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			at := f.arrival[m]
+			if at < 0 {
+				// Eligible but no arrival recorded (e.g. policy attached
+				// mid-run); treat as arriving now so it still gets served.
+				at = 1<<62 - 1
+			}
+			if best == -1 || at < bestAt {
+				best, bestAt = m, at
+			}
 		}
 	}
 	if best == -1 {

@@ -1,6 +1,11 @@
 package arbiter
 
-import "creditbus/internal/rng"
+import (
+	"math/bits"
+
+	"creditbus/internal/bitset"
+	"creditbus/internal/rng"
+)
 
 // Lottery implements LOTTERYBUS-style arbitration (Lahiri et al., DAC 2001):
 // every arbitration, each competing master enters with a configured number of
@@ -12,7 +17,7 @@ type Lottery struct {
 	seed    uint64
 	tickets []int64
 	src     *rng.Stream
-	scratch []int64
+	scratch bitset.Set
 }
 
 // NewLottery builds a lottery policy over n masters. tickets gives the
@@ -40,7 +45,7 @@ func NewLottery(n int, tickets []int64, seed uint64) *Lottery {
 		n:       n,
 		seed:    seed,
 		tickets: append([]int64(nil), tickets...),
-		scratch: make([]int64, n),
+		scratch: bitset.New(n),
 	}
 	l.Reset()
 	return l
@@ -53,18 +58,41 @@ func (l *Lottery) Name() string { return "LOT" }
 func (l *Lottery) OnRequest(int, int64) {}
 
 // Pick draws a ticket among eligible masters.
-func (l *Lottery) Pick(eligible []bool, _ int64) (int, bool) {
-	if countEligible(eligible) == 0 {
-		return 0, false
-	}
-	for m := 0; m < l.n; m++ {
-		if m < len(eligible) && eligible[m] {
-			l.scratch[m] = l.tickets[m]
-		} else {
-			l.scratch[m] = 0
+func (l *Lottery) Pick(eligible []bool, cycle int64) (int, bool) {
+	return l.PickBits(fillBits(l.scratch, eligible, l.n), cycle)
+}
+
+// PickBits implements BitPicker. The draw is bit-identical to the reference
+// scan's rng.WeightedChoice over a zero-padded ticket vector: one Uint64 per
+// arbitration with an eligible master, reduced modulo the eligible ticket
+// total, then an ascending walk — ineligible masters carried weight 0 in the
+// reference vector, and a zero weight can never match (the running ticket
+// stays ≥ 0) nor move the walk, so summing and walking only the set bits
+// selects the identical winner from the identical draw.
+func (l *Lottery) PickBits(eligible bitset.Set, _ int64) (int, bool) {
+	var total int64
+	for w, word := range eligible {
+		for word != 0 {
+			m := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			total += l.tickets[m]
 		}
 	}
-	return l.src.WeightedChoice(l.scratch), true
+	if total == 0 {
+		return 0, false
+	}
+	t := int64(l.src.Uint64() % uint64(total))
+	for w, word := range eligible {
+		for word != 0 {
+			m := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if t < l.tickets[m] {
+				return m, true
+			}
+			t -= l.tickets[m]
+		}
+	}
+	panic("arbiter: Lottery draw outside ticket total")
 }
 
 // OnGrant implements Policy.

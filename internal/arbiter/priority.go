@@ -1,5 +1,7 @@
 package arbiter
 
+import "creditbus/internal/bitset"
+
 // FixedPriority always grants the eligible master with the lowest index.
 // The paper's §II explains why this is unusable when every core runs
 // real-time tasks: a high-priority core issuing requests back to back
@@ -7,7 +9,8 @@ package arbiter
 // demonstrate exactly that starvation (see the package tests) and to show
 // that the CBA filter in front of it restores starvation freedom.
 type FixedPriority struct {
-	n int
+	n       int
+	scratch bitset.Set
 }
 
 // NewFixedPriority builds the policy over n masters; index 0 has the highest
@@ -16,7 +19,7 @@ func NewFixedPriority(n int) *FixedPriority {
 	if n <= 0 {
 		panic("arbiter: FixedPriority needs n > 0")
 	}
-	return &FixedPriority{n: n}
+	return &FixedPriority{n: n, scratch: bitset.New(n)}
 }
 
 // Name implements Policy.
@@ -26,11 +29,14 @@ func (f *FixedPriority) Name() string { return "PRI" }
 func (f *FixedPriority) OnRequest(int, int64) {}
 
 // Pick grants the lowest-indexed eligible master.
-func (f *FixedPriority) Pick(eligible []bool, _ int64) (int, bool) {
-	for m := 0; m < f.n && m < len(eligible); m++ {
-		if eligible[m] {
-			return m, true
-		}
+func (f *FixedPriority) Pick(eligible []bool, cycle int64) (int, bool) {
+	return f.PickBits(fillBits(f.scratch, eligible, f.n), cycle)
+}
+
+// PickBits implements BitPicker: the lowest set bit.
+func (f *FixedPriority) PickBits(eligible bitset.Set, _ int64) (int, bool) {
+	if m := eligible.First(); m >= 0 {
+		return m, true
 	}
 	return 0, false
 }

@@ -1,6 +1,11 @@
 package arbiter
 
-import "creditbus/internal/rng"
+import (
+	"math/bits"
+
+	"creditbus/internal/bitset"
+	"creditbus/internal/rng"
+)
 
 // RandomPermutation implements the random-permutations policy of Jalle et
 // al. (DATE 2014), the policy the paper integrates CBA with on the LEON3
@@ -15,11 +20,17 @@ import "creditbus/internal/rng"
 // is what gives the policy its probabilistic timing guarantees: the number
 // of contenders served before a given master is uniform on {0..N-1}.
 type RandomPermutation struct {
-	n      int
-	seed   uint64
-	src    *rng.Stream
-	perm   []int
-	served []bool
+	n    int
+	seed uint64
+	src  *rng.Stream
+	perm []int
+	// rank inverts perm (rank[perm[i]] = i): "first eligible unserved
+	// master in permutation order" becomes "minimum rank over the eligible
+	// ∧ ¬served bits", so a pick costs the set's population, not a walk of
+	// the full permutation.
+	rank    []int
+	served  bitset.Set
+	scratch bitset.Set
 }
 
 // NewRandomPermutation builds the policy over n masters with its own rng
@@ -29,10 +40,12 @@ func NewRandomPermutation(n int, seed uint64) *RandomPermutation {
 		panic("arbiter: RandomPermutation needs n > 0")
 	}
 	p := &RandomPermutation{
-		n:      n,
-		seed:   seed,
-		perm:   make([]int, n),
-		served: make([]bool, n),
+		n:       n,
+		seed:    seed,
+		perm:    make([]int, n),
+		rank:    make([]int, n),
+		served:  bitset.New(n),
+		scratch: bitset.New(n),
 	}
 	p.Reset()
 	return p
@@ -46,26 +59,41 @@ func (p *RandomPermutation) OnRequest(int, int64) {}
 
 func (p *RandomPermutation) newRound() {
 	p.src.Perm(p.perm)
-	for i := range p.served {
-		p.served[i] = false
+	for i, m := range p.perm {
+		p.rank[m] = i
 	}
+	p.served.Reset()
 }
 
-// pickUnserved returns the first eligible, not-yet-served master in
-// permutation order, or -1.
-func (p *RandomPermutation) pickUnserved(eligible []bool) int {
-	for _, m := range p.perm {
-		if m < len(eligible) && eligible[m] && !p.served[m] {
-			return m
+// pickUnserved returns the eligible, not-yet-served master earliest in the
+// current permutation (the minimum-rank bit of eligible ∧ ¬served), or -1.
+func (p *RandomPermutation) pickUnserved(eligible bitset.Set) int {
+	best, bestRank := -1, 0
+	for w, word := range eligible {
+		word &^= p.served[w]
+		for word != 0 {
+			m := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if r := p.rank[m]; best == -1 || r < bestRank {
+				best, bestRank = m, r
+			}
 		}
 	}
-	return -1
+	return best
 }
 
 // Pick selects the next master for this round, opening a new round if every
 // eligible master was already served in the current one.
-func (p *RandomPermutation) Pick(eligible []bool, _ int64) (int, bool) {
-	if countEligible(eligible) == 0 {
+func (p *RandomPermutation) Pick(eligible []bool, cycle int64) (int, bool) {
+	return p.PickBits(fillBits(p.scratch, eligible, p.n), cycle)
+}
+
+// PickBits implements BitPicker. Round bookkeeping — and therefore the
+// cycle at which each permutation is drawn — matches the reference scan
+// exactly: no draw on an empty eligible set, a fresh round (one Perm draw)
+// precisely when no eligible master is still owed a grant.
+func (p *RandomPermutation) PickBits(eligible bitset.Set, _ int64) (int, bool) {
+	if !eligible.Any() {
 		return 0, false
 	}
 	if m := p.pickUnserved(eligible); m >= 0 {
@@ -82,7 +110,7 @@ func (p *RandomPermutation) Pick(eligible []bool, _ int64) (int, bool) {
 // OnGrant marks the master as served for the current round.
 func (p *RandomPermutation) OnGrant(m int, _ int64) {
 	if m >= 0 && m < p.n {
-		p.served[m] = true
+		p.served.Set(m)
 	}
 }
 

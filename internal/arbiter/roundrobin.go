@@ -1,5 +1,7 @@
 package arbiter
 
+import "creditbus/internal/bitset"
+
 // RoundRobin grants masters in rotating-priority order: after a grant to
 // master m, master m+1 (mod N) has the highest priority. With all masters
 // constantly requesting, it is slot-fair: each master receives the same
@@ -7,8 +9,9 @@ package arbiter
 // exactly the behaviour the paper's §II illustrative example shows to be
 // bandwidth-unfair.
 type RoundRobin struct {
-	n    int
-	next int
+	n       int
+	next    int
+	scratch bitset.Set
 }
 
 // NewRoundRobin builds a round-robin policy over n masters.
@@ -16,7 +19,7 @@ func NewRoundRobin(n int) *RoundRobin {
 	if n <= 0 {
 		panic("arbiter: RoundRobin needs n > 0")
 	}
-	return &RoundRobin{n: n}
+	return &RoundRobin{n: n, scratch: bitset.New(n)}
 }
 
 // Name implements Policy.
@@ -26,12 +29,19 @@ func (r *RoundRobin) Name() string { return "RR" }
 func (r *RoundRobin) OnRequest(int, int64) {}
 
 // Pick scans from the current priority pointer for the first eligible master.
-func (r *RoundRobin) Pick(eligible []bool, _ int64) (int, bool) {
-	for i := 0; i < r.n; i++ {
-		m := (r.next + i) % r.n
-		if m < len(eligible) && eligible[m] {
-			return m, true
-		}
+func (r *RoundRobin) Pick(eligible []bool, cycle int64) (int, bool) {
+	return r.PickBits(fillBits(r.scratch, eligible, r.n), cycle)
+}
+
+// PickBits implements BitPicker: the first set bit at or after the priority
+// pointer, wrapping to the lowest set bit — the rotating scan, in two
+// word-level probes.
+func (r *RoundRobin) PickBits(eligible bitset.Set, _ int64) (int, bool) {
+	if m := eligible.NextFrom(r.next); m >= 0 {
+		return m, true
+	}
+	if m := eligible.First(); m >= 0 {
+		return m, true
 	}
 	return 0, false
 }

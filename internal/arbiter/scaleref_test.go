@@ -1,0 +1,158 @@
+package arbiter
+
+import (
+	"fmt"
+	"testing"
+
+	"creditbus/internal/bitset"
+	"creditbus/internal/rng"
+)
+
+// This file is the scale-out differential suite: every bitset policy is
+// driven pick-for-pick against the preserved linear-scan reference
+// (reference.go) over random request patterns at core counts from 2 to
+// 1024, through both the legacy []bool Pick and the BitPicker form, with
+// rng-draw-order equality asserted for the randomised policies.
+
+// scaleCounts spans the refactor's target populations, including a
+// word-boundary-straddling odd count.
+var scaleCounts = []int{2, 8, 64, 257, 1024}
+
+// rngDrainer exposes the policy's rng stream so the test can prove two
+// instances consumed exactly the same draws.
+type rngDrainer interface{ drain() *rng.Stream }
+
+func (l *Lottery) drain() *rng.Stream              { return l.src }
+func (l *refLottery) drain() *rng.Stream           { return l.src }
+func (p *RandomPermutation) drain() *rng.Stream    { return p.src }
+func (p *refRandomPermutation) drain() *rng.Stream { return p.src }
+
+func TestBitsetPoliciesMatchReferenceScans(t *testing.T) {
+	for _, n := range scaleCounts {
+		n := n
+		tickets := make([]int64, n)
+		src := rng.New(uint64(n)*977 + 5)
+		for i := range tickets {
+			tickets[i] = 1 + int64(src.Intn(5))
+		}
+		cases := []struct {
+			name string
+			mk   func(seed uint64) Policy
+			ref  func(seed uint64) Policy
+		}{
+			{"FIFO", func(uint64) Policy { return NewFIFO(n) }, func(uint64) Policy { return newRefFIFO(n) }},
+			{"RR", func(uint64) Policy { return NewRoundRobin(n) }, func(uint64) Policy { return newRefRoundRobin(n) }},
+			{"PRI", func(uint64) Policy { return NewFixedPriority(n) }, func(uint64) Policy { return newRefFixedPriority(n) }},
+			{"TDMA", func(uint64) Policy { return NewTDMA(n, 7) }, func(uint64) Policy { return NewTDMA(n, 7) }},
+			{"LOT", func(s uint64) Policy { return NewLottery(n, tickets, s) },
+				func(s uint64) Policy { return newRefLottery(n, tickets, s) }},
+			{"RP", func(s uint64) Policy { return NewRandomPermutation(n, s) },
+				func(s uint64) Policy { return newRefRandomPermutation(n, s) }},
+		}
+		for _, tc := range cases {
+			tc := tc
+			t.Run(fmt.Sprintf("%s/n=%d", tc.name, n), func(t *testing.T) {
+				t.Parallel()
+				seed := uint64(n)*31 + 7
+				ref := tc.ref(seed)       // linear scan, legacy Pick
+				viaBools := tc.mk(seed)   // bitset policy through Pick([]bool)
+				viaBits := tc.mk(seed)    // bitset policy through PickBits
+				bp := viaBits.(BitPicker) // every package policy implements it
+				drivePolicies(t, n, ref, viaBools, bp, viaBits)
+
+				// rng-draw-order equality: after identical runs the streams
+				// must be at the identical position — the next draws agree.
+				if rd, ok := ref.(rngDrainer); ok {
+					a, b, c := rd.drain(), viaBools.(rngDrainer).drain(), viaBits.(rngDrainer).drain()
+					for i := 0; i < 8; i++ {
+						x, y, z := a.Uint64(), b.Uint64(), c.Uint64()
+						if x != y || x != z {
+							t.Fatalf("rng streams diverged after the run: draw %d = %d / %d / %d", i, x, y, z)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// drivePolicies runs a randomized request/eligibility pattern through the
+// three instances, asserting pick-for-pick equality at every step. The
+// pattern mixes dense, sparse and empty eligibility phases, occasional
+// eligible-without-arrival masters (FIFO's attach-mid-run branch), resets
+// and (where supported) reseeds.
+func drivePolicies(t *testing.T, n int, ref, viaBools Policy, bits BitPicker, bitsOwner Policy) {
+	t.Helper()
+	pat := rng.New(uint64(n)*1013 + 3)
+	pending := make([]bool, n)
+	eligible := make([]bool, n)
+	eset := bitset.New(n)
+	cycle := int64(0)
+
+	steps := 2000
+	if n >= 257 {
+		steps = 600 // keep the O(n)-per-step pattern generation bounded
+	}
+	for s := 0; s < steps; s++ {
+		cycle += 1 + int64(pat.Intn(3))
+
+		// New arrivals: a handful of fresh requests this cycle.
+		for k, posts := 0, pat.Intn(4); k < posts; k++ {
+			m := pat.Intn(n)
+			if !pending[m] {
+				pending[m] = true
+				ref.OnRequest(m, cycle)
+				viaBools.OnRequest(m, cycle)
+				bitsOwner.OnRequest(m, cycle)
+			}
+		}
+
+		// Eligibility: a phase-dependent random subset of the pending set.
+		density := pat.Intn(100)
+		for m := 0; m < n; m++ {
+			eligible[m] = pending[m] && pat.Intn(100) < density
+		}
+		if pat.Intn(50) == 0 {
+			// Eligible master the policy never saw an arrival for.
+			eligible[pat.Intn(n)] = true
+		}
+		fillBits(eset, eligible, n)
+
+		mr, okr := ref.Pick(eligible, cycle)
+		mb, okb := viaBools.Pick(eligible, cycle)
+		ms, oks := bits.PickBits(eset, cycle)
+		if okr != okb || okr != oks || (okr && (mr != mb || mr != ms)) {
+			t.Fatalf("step %d (cycle %d): picks diverged: ref=(%d,%v) bools=(%d,%v) bits=(%d,%v)",
+				s, cycle, mr, okr, mb, okb, ms, oks)
+		}
+		if okr {
+			if !eligible[mr] {
+				t.Fatalf("step %d: picked ineligible master %d", s, mr)
+			}
+			ref.OnGrant(mr, cycle)
+			viaBools.OnGrant(mr, cycle)
+			bitsOwner.OnGrant(mr, cycle)
+			pending[mr] = false
+		}
+
+		switch pat.Intn(200) {
+		case 0:
+			ref.Reset()
+			viaBools.Reset()
+			bitsOwner.Reset()
+			for m := range pending {
+				pending[m] = false
+			}
+		case 1:
+			if r, ok := ref.(Reseeder); ok {
+				ns := pat.Uint64()
+				r.Reseed(ns)
+				viaBools.(Reseeder).Reseed(ns)
+				bitsOwner.(Reseeder).Reseed(ns)
+				for m := range pending {
+					pending[m] = false
+				}
+			}
+		}
+	}
+}

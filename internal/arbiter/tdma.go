@@ -1,5 +1,7 @@
 package arbiter
 
+import "creditbus/internal/bitset"
+
 // TDMA divides time into fixed slots of SlotLen cycles, one per master, in a
 // fixed rotation. Following the paper's §II discussion, a request may only be
 // issued during the first cycle of its owner's slot: because request duration
@@ -47,6 +49,18 @@ func (t *TDMA) Pick(eligible []bool, cycle int64) (int, bool) {
 	}
 	owner := t.SlotOwner(cycle)
 	if owner < len(eligible) && eligible[owner] {
+		return owner, true
+	}
+	return 0, false
+}
+
+// PickBits implements BitPicker: one bit test of the slot owner — TDMA
+// arbitration is O(1) at any master count.
+func (t *TDMA) PickBits(eligible bitset.Set, cycle int64) (int, bool) {
+	if !t.SlotStart(cycle) {
+		return 0, false
+	}
+	if owner := t.SlotOwner(cycle); eligible.Test(owner) {
 		return owner, true
 	}
 	return 0, false

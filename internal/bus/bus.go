@@ -17,8 +17,10 @@ package bus
 
 import (
 	"fmt"
+	"math/bits"
 
 	"creditbus/internal/arbiter"
+	"creditbus/internal/bitset"
 	"creditbus/internal/core"
 )
 
@@ -78,22 +80,47 @@ type MasterStats struct {
 
 // Bus is the non-split shared bus. Not safe for concurrent use: the
 // simulator drives it from a single goroutine, one Tick per cycle.
+//
+// Per-master state is flat struct-of-arrays — request sets as bitsets,
+// visibility/hold/tag vectors as contiguous slices — so an arbitration
+// decision over n masters costs a few word-level ANDs plus the policy's
+// pick over the set bits, not an O(n) scan, and the idle-bus horizon is one
+// pass over the pending bits. Wait accounting is lazy (see Stats), which
+// removes the per-cycle O(n) wait loops Tick and Advance used to run.
 type Bus struct {
 	cfg        Config
 	arbLatency int64
 	sched      arbiter.Scheduler // non-nil iff Policy implements Scheduler
+	picker     arbiter.BitPicker // non-nil iff Policy implements BitPicker
 
 	cycle     int64
 	holder    int
 	remaining int64
 	holderTag uint64
 
-	pending   []bool
+	// pending marks masters with a posted, ungranted request; visible is
+	// the subset whose arbitration-latency register has clocked
+	// (visibleAt ≤ the cycle of the last refreshVisible). visible ⊆ pending
+	// always: Post sets only pending, a grant clears both.
+	pending bitset.Set
+	visible bitset.Set
+
+	// queue holds posted masters awaiting visibility, in post order. Post
+	// cycles are monotone and the arbitration latency constant, so the
+	// queued visibleAt values are non-decreasing: refreshVisible pops a
+	// prefix instead of rescanning all masters. A master has at most one
+	// queued entry — a grant requires visibility, which requires the pop,
+	// before CanPost opens again — so Masters entries suffice.
+	queue []int32
+	qhead int
+	qlen  int
+
 	visibleAt []int64
 	hold      []int64
 	tag       []uint64
 
-	eligible []bool // scratch for the arbitration mask
+	eligible      bitset.Set // scratch for the arbitration mask
+	eligibleBools []bool     // scratch for policies without PickBits
 
 	masterStats []MasterStats
 	busyCycles  int64
@@ -146,15 +173,28 @@ func New(cfg Config) (*Bus, error) {
 		cfg:         cfg,
 		arbLatency:  lat,
 		holder:      -1,
-		pending:     make([]bool, cfg.Masters),
+		pending:     bitset.New(cfg.Masters),
+		visible:     bitset.New(cfg.Masters),
+		queue:       make([]int32, cfg.Masters),
 		visibleAt:   make([]int64, cfg.Masters),
 		hold:        make([]int64, cfg.Masters),
 		tag:         make([]uint64, cfg.Masters),
-		eligible:    make([]bool, cfg.Masters),
+		eligible:    bitset.New(cfg.Masters),
 		masterStats: make([]MasterStats, cfg.Masters),
 	}
-	b.sched, _ = cfg.Policy.(arbiter.Scheduler)
+	b.bindPolicy(cfg.Policy)
 	return b, nil
+}
+
+// bindPolicy resolves the policy's optional fast-path interfaces. Policies
+// without PickBits (external implementations) go through a boolean-slice
+// scratch allocated on first need.
+func (b *Bus) bindPolicy(p arbiter.Policy) {
+	b.sched, _ = p.(arbiter.Scheduler)
+	b.picker, _ = p.(arbiter.BitPicker)
+	if b.picker == nil && len(b.eligibleBools) < b.cfg.Masters {
+		b.eligibleBools = make([]bool, b.cfg.Masters)
+	}
 }
 
 // Reuse reinitialises the bus in place for a new configuration: the
@@ -171,32 +211,39 @@ func (b *Bus) Reuse(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	if cap(b.pending) >= cfg.Masters {
-		b.pending = b.pending[:cfg.Masters]
+	words := bitset.Words(cfg.Masters)
+	if cap(b.visibleAt) >= cfg.Masters && cap(b.queue) >= cfg.Masters && cap(b.pending) >= words {
+		b.pending = b.pending[:words]
+		b.visible = b.visible[:words]
+		b.eligible = b.eligible[:words]
+		b.queue = b.queue[:cfg.Masters]
 		b.visibleAt = b.visibleAt[:cfg.Masters]
 		b.hold = b.hold[:cfg.Masters]
 		b.tag = b.tag[:cfg.Masters]
-		b.eligible = b.eligible[:cfg.Masters]
 		b.masterStats = b.masterStats[:cfg.Masters]
+		b.pending.Reset()
+		b.visible.Reset()
+		b.eligible.Reset()
 		for m := 0; m < cfg.Masters; m++ {
-			b.pending[m] = false
 			b.visibleAt[m] = 0
 			b.hold[m] = 0
 			b.tag[m] = 0
-			b.eligible[m] = false
 			b.masterStats[m] = MasterStats{}
 		}
 	} else {
-		b.pending = make([]bool, cfg.Masters)
+		b.pending = bitset.New(cfg.Masters)
+		b.visible = bitset.New(cfg.Masters)
+		b.eligible = bitset.New(cfg.Masters)
+		b.queue = make([]int32, cfg.Masters)
 		b.visibleAt = make([]int64, cfg.Masters)
 		b.hold = make([]int64, cfg.Masters)
 		b.tag = make([]uint64, cfg.Masters)
-		b.eligible = make([]bool, cfg.Masters)
 		b.masterStats = make([]MasterStats, cfg.Masters)
 	}
+	b.qhead, b.qlen = 0, 0
 	b.cfg = cfg
 	b.arbLatency = lat
-	b.sched, _ = cfg.Policy.(arbiter.Scheduler)
+	b.bindPolicy(cfg.Policy)
 	b.cycle = 0
 	b.holder = -1
 	b.remaining = 0
@@ -237,16 +284,21 @@ func (b *Bus) Holder() int { return b.holder }
 // during a transfer, which is what enables back-to-back grants (and models
 // Table I's permanently-set contender REQ signals).
 func (b *Bus) CanPost(m int) bool {
-	return m >= 0 && m < b.cfg.Masters && !b.pending[m]
+	return m >= 0 && m < b.cfg.Masters && !b.pending.Test(m)
 }
 
 // Pending reports whether master m has a posted, not-yet-granted request.
-func (b *Bus) Pending(m int) bool { return b.pending[m] }
+func (b *Bus) Pending(m int) bool { return b.pending.Test(m) }
+
+// PendingWords exposes the pending set's backing words (read-only for the
+// caller). The machine's injector layer diffs its injector bitset against
+// it to find re-postable masters without scanning all of them.
+func (b *Bus) PendingWords() bitset.Set { return b.pending }
 
 // Arbitrable reports whether master m has a pending request that is already
 // visible to the arbiter (the arbitration-latency register has clocked it).
 func (b *Bus) Arbitrable(m int) bool {
-	return b.pending[m] && b.visibleAt[m] <= b.cycle
+	return b.pending.Test(m) && b.visibleAt[m] <= b.cycle
 }
 
 // Post submits a request for master m during the upcoming cycle; it becomes
@@ -261,13 +313,35 @@ func (b *Bus) Post(m int, r Request) error {
 	if !b.CanPost(m) {
 		return fmt.Errorf("bus: master %d already has an outstanding request", m)
 	}
-	b.pending[m] = true
+	b.pending.Set(m)
 	b.visibleAt[m] = b.cycle + 1 + b.arbLatency
+	b.queue[(b.qhead+b.qlen)%len(b.queue)] = int32(m)
+	b.qlen++
 	b.hold[m] = r.Hold
 	b.tag[m] = r.Tag
 	b.masterStats[m].Requests++
 	b.cfg.Policy.OnRequest(m, b.visibleAt[m])
 	return nil
+}
+
+// refreshVisible clocks the visibility register up to cycle now: queued
+// masters whose visibleAt has passed move into the visible set. The queue
+// is ordered by visibleAt (Post cycles are monotone, the latency constant),
+// so this pops a prefix and each posted request is popped exactly once over
+// its lifetime.
+func (b *Bus) refreshVisible(now int64) {
+	for b.qlen > 0 {
+		m := int(b.queue[b.qhead])
+		if b.visibleAt[m] > now {
+			break
+		}
+		b.visible.Set(m)
+		b.qhead++
+		if b.qhead == len(b.queue) {
+			b.qhead = 0
+		}
+		b.qlen--
+	}
 }
 
 // MustPost is Post that panics on error, for injectors with by-construction
@@ -280,27 +354,39 @@ func (b *Bus) MustPost(m int, r Request) {
 
 // arbitrate computes the eligibility mask and asks the policy for a grant.
 // Called only while the bus is idle, during the (single) arbitration cycle.
+// The mask is pending ∧ visible ∧ COMP ∧ budget-eligible, assembled with
+// word-level ANDs over the layers' bitsets; the per-master predicate it
+// evaluates is identical to the old linear scan's.
 func (b *Bus) arbitrate(now int64) {
-	any := false
-	for m := 0; m < b.cfg.Masters; m++ {
-		e := b.pending[m] && b.visibleAt[m] <= now
-		if e && b.cfg.Signals != nil && !b.cfg.Signals.Competing(m) {
-			e = false
-		}
-		if e && b.cfg.Credit != nil && !b.cfg.Credit.Eligible(m) {
-			e = false
-		}
-		b.eligible[m] = e
-		any = any || e
-	}
-	if !any {
+	b.refreshVisible(now)
+	if !b.visible.Any() {
 		return
 	}
-	m, ok := b.cfg.Policy.Pick(b.eligible, now)
+	e := b.eligible
+	e.CopyFrom(b.visible)
+	if b.cfg.Signals != nil {
+		b.cfg.Signals.AndCompeting(e)
+	}
+	if b.cfg.Credit != nil {
+		b.cfg.Credit.AndEligible(e)
+	}
+	if !e.Any() {
+		return
+	}
+	var m int
+	var ok bool
+	if b.picker != nil {
+		m, ok = b.picker.PickBits(e, now)
+	} else {
+		for i := 0; i < b.cfg.Masters; i++ {
+			b.eligibleBools[i] = e.Test(i)
+		}
+		m, ok = b.cfg.Policy.Pick(b.eligibleBools[:b.cfg.Masters], now)
+	}
 	if !ok {
 		return
 	}
-	if m < 0 || m >= b.cfg.Masters || !b.eligible[m] {
+	if m < 0 || m >= b.cfg.Masters || !e.Test(m) {
 		panic(fmt.Sprintf("bus: policy %s picked invalid master %d", b.cfg.Policy.Name(), m))
 	}
 	wait := now - b.visibleAt[m]
@@ -310,7 +396,11 @@ func (b *Bus) arbitrate(now int64) {
 	if wait > st.MaxWait {
 		st.MaxWait = wait
 	}
-	b.pending[m] = false
+	// Lazy wait accounting: the request waited cycles [visibleAt, now-1],
+	// exactly the cycles the per-cycle wait loop used to count for it.
+	st.WaitCycles += wait
+	b.pending.Clear(m)
+	b.visible.Clear(m)
 	b.holder = m
 	b.remaining = b.hold[m]
 	b.holderTag = b.tag[m]
@@ -335,7 +425,7 @@ func (b *Bus) Tick() {
 	// "as soon as possible").
 	if b.cfg.Signals != nil {
 		tua := b.cfg.Signals.TuA()
-		b.cfg.Signals.Update(b.pending[tua] && b.visibleAt[tua] <= now)
+		b.cfg.Signals.Update(b.pending.Test(tua) && b.visibleAt[tua] <= now)
 	}
 
 	if b.holder < 0 {
@@ -354,12 +444,8 @@ func (b *Bus) Tick() {
 		b.idleCycles++
 	}
 
-	// Wait accounting for masters that are arbitrable but not served.
-	for m := 0; m < b.cfg.Masters; m++ {
-		if b.pending[m] && b.visibleAt[m] <= now {
-			b.masterStats[m].WaitCycles++
-		}
-	}
+	// No per-master wait loop: waits accrue at grant time, and Stats adds
+	// the live request's share on read.
 
 	if b.holder >= 0 && b.remaining == 0 {
 		m, tag := b.holder, b.holderTag
@@ -401,50 +487,65 @@ func (b *Bus) Horizon() int64 {
 	if b.holder >= 0 {
 		return b.cycle + b.remaining
 	}
-	best := NoEvent
 	floor := b.cycle + 1
-	for m := 0; m < b.cfg.Masters; m++ {
-		if !b.pending[m] {
-			continue
+	if b.cfg.Credit == nil && b.cfg.Signals == nil && b.sched == nil {
+		// Plain work-conserving bus: any visible master can be picked on
+		// the very next cycle, and with none visible the earliest event is
+		// the visibility queue's head (minimal over pending masters — the
+		// queue is visibleAt-ordered). O(words), no per-master pass.
+		b.refreshVisible(b.cycle)
+		if b.visible.Any() {
+			return floor
 		}
-		t := b.visibleAt[m]
-		if t < floor {
-			t = floor
+		if b.qlen > 0 {
+			return b.visibleAt[int(b.queue[b.qhead])]
 		}
-		if b.cfg.Credit != nil {
-			// On an idle bus every budget refills each cycle, so the
-			// eligibility crossing is a fixed future cycle.
-			if k := b.cfg.Credit.CyclesUntilEligible(m); k > 0 {
-				if c := floor + k; c > t {
-					t = c
+		return NoEvent
+	}
+	best := NoEvent
+	for w, word := range b.pending {
+		for word != 0 {
+			m := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			t := b.visibleAt[m]
+			if t < floor {
+				t = floor
+			}
+			if b.cfg.Credit != nil {
+				// On an idle bus every budget refills each cycle, so the
+				// eligibility crossing is a fixed future cycle.
+				if k := b.cfg.Credit.CyclesUntilEligible(m); k > 0 {
+					if c := floor + k; c > t {
+						t = c
+					}
 				}
 			}
-		}
-		if b.cfg.Signals != nil && !b.cfg.Signals.Competing(m) {
-			// WCET-mode contender whose COMP latch is not set: the latch
-			// needs a saturated budget while the TuA has a request ready.
-			// If the TuA is not even pending, the latch cannot set before
-			// the TuA posts — and posting is a machine-level event that
-			// re-computes horizons — so m contributes no bus event now.
-			tua := b.cfg.Signals.TuA()
-			if !b.pending[tua] {
-				continue
-			}
-			s := b.visibleAt[tua]
-			if k := b.cfg.Credit.CyclesUntilSaturated(m); k > 0 {
-				if c := floor + k; c > s {
-					s = c
+			if b.cfg.Signals != nil && !b.cfg.Signals.Competing(m) {
+				// WCET-mode contender whose COMP latch is not set: the latch
+				// needs a saturated budget while the TuA has a request ready.
+				// If the TuA is not even pending, the latch cannot set before
+				// the TuA posts — and posting is a machine-level event that
+				// re-computes horizons — so m contributes no bus event now.
+				tua := b.cfg.Signals.TuA()
+				if !b.pending.Test(tua) {
+					continue
+				}
+				s := b.visibleAt[tua]
+				if k := b.cfg.Credit.CyclesUntilSaturated(m); k > 0 {
+					if c := floor + k; c > s {
+						s = c
+					}
+				}
+				if s > t {
+					t = s
 				}
 			}
-			if s > t {
-				t = s
+			if b.sched != nil {
+				t = b.sched.NextPickCycle(t)
 			}
-		}
-		if b.sched != nil {
-			t = b.sched.NextPickCycle(t)
-		}
-		if t < best {
-			best = t
+			if t < best {
+				best = t
+			}
 		}
 	}
 	return best
@@ -482,24 +583,24 @@ func (b *Bus) Advance(n int64) {
 	if b.cfg.Credit != nil {
 		b.cfg.Credit.TickN(b.holder, n)
 	}
-	first := b.cycle + 1
 	b.cycle += n
-	for m := 0; m < b.cfg.Masters; m++ {
-		if !b.pending[m] {
-			continue
-		}
-		from := b.visibleAt[m]
-		if from < first {
-			from = first
-		}
-		if from <= b.cycle {
-			b.masterStats[m].WaitCycles += b.cycle - from + 1
-		}
-	}
+	// Wait counters need no replay: lazy accounting recovers the window's
+	// share at grant time (or in Stats for a still-pending request).
 }
 
-// Stats returns a copy of master m's statistics.
-func (b *Bus) Stats(m int) MasterStats { return b.masterStats[m] }
+// Stats returns a copy of master m's statistics. WaitCycles for granted
+// requests accrues at grant time; a still-pending visible request has
+// waited cycles [visibleAt, cycle] — the live component added here — so the
+// returned counters match the per-cycle accounting at every read point.
+func (b *Bus) Stats(m int) MasterStats {
+	st := b.masterStats[m]
+	if b.pending.Test(m) {
+		if v := b.visibleAt[m]; v <= b.cycle {
+			st.WaitCycles += b.cycle - v + 1
+		}
+	}
+	return st
+}
 
 // BusyCycles returns the number of cycles the bus was occupied.
 func (b *Bus) BusyCycles() int64 { return b.busyCycles }
@@ -546,8 +647,10 @@ func (b *Bus) Reset() {
 	b.holderTag = 0
 	b.busyCycles = 0
 	b.idleCycles = 0
-	for m := range b.pending {
-		b.pending[m] = false
+	b.pending.Reset()
+	b.visible.Reset()
+	b.qhead, b.qlen = 0, 0
+	for m := range b.visibleAt {
 		b.visibleAt[m] = 0
 		b.hold[m] = 0
 		b.tag[m] = 0

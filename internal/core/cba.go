@@ -35,6 +35,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"creditbus/internal/bitset"
 )
 
 // Config describes a CBA instance.
@@ -74,7 +76,13 @@ type Config struct {
 
 // Arbiter is the credit-based arbitration filter. It tracks one scaled
 // budget counter per master; the bus calls Tick once per cycle and consults
-// Eligible / FilterEligible before handing masters to the underlying policy.
+// Eligible / AndEligible / FilterEligible before handing masters to the
+// underlying policy.
+//
+// All per-master state is flat struct-of-arrays (weights, thresholds, caps,
+// budgets live in contiguous slices, one index per master), and every
+// budget mutation keeps the eligibility bitset in sync, so the bus-side
+// arbitration mask is a word-level AND rather than a per-master scan.
 type Arbiter struct {
 	masters    int
 	maxHold    int64
@@ -85,6 +93,10 @@ type Arbiter struct {
 	budget     []int64
 	startEmpty []bool
 	underflows int64
+
+	// eligibleBits mirrors budget[i] ≥ threshold[i], maintained by every
+	// mutation path (Reset, Tick, TickN, SetBudgetForTest).
+	eligibleBits bitset.Set
 }
 
 // New validates cfg and builds the arbiter with all budgets at their initial
@@ -172,14 +184,15 @@ func New(cfg Config) (*Arbiter, error) {
 	}
 
 	a := &Arbiter{
-		masters:    n,
-		maxHold:    cfg.MaxHold,
-		scale:      scale,
-		weights:    append([]int64(nil), weights...),
-		threshold:  append([]int64(nil), threshold...),
-		cap:        append([]int64(nil), capacity...),
-		budget:     make([]int64, n),
-		startEmpty: append([]bool(nil), startEmpty...),
+		masters:      n,
+		maxHold:      cfg.MaxHold,
+		scale:        scale,
+		weights:      append([]int64(nil), weights...),
+		threshold:    append([]int64(nil), threshold...),
+		cap:          append([]int64(nil), capacity...),
+		budget:       make([]int64, n),
+		startEmpty:   append([]bool(nil), startEmpty...),
+		eligibleBits: bitset.New(n),
 	}
 	a.Reset()
 	return a, nil
@@ -259,6 +272,7 @@ func (a *Arbiter) Reset() {
 		} else {
 			a.budget[i] = a.cap[i]
 		}
+		a.eligibleBits.Assign(i, a.budget[i] >= a.threshold[i])
 	}
 	a.underflows = 0
 }
@@ -293,6 +307,7 @@ func (a *Arbiter) Tick(holder int) {
 			a.underflows++
 		}
 		a.budget[i] = b
+		a.eligibleBits.Assign(i, b >= a.threshold[i])
 	}
 }
 
@@ -332,16 +347,24 @@ func (a *Arbiter) TickN(holder int, n int64) {
 				nb = a.cap[i] // net refill 0 (single master) at a saturated budget
 			}
 			a.budget[i] = nb
+			a.eligibleBits.Assign(i, nb >= a.threshold[i])
 			continue
 		}
 		if a.budget[i] == a.cap[i] {
-			continue // saturated refill is a no-op for non-holders
+			// Saturated refill is a no-op for non-holders; the eligibility
+			// bit is already set (New enforces cap ≥ threshold).
+			continue
 		}
 		nb := a.budget[i] + a.weights[i]*n
 		if nb > a.cap[i] || nb < a.budget[i] { // saturate (also guards overflow)
 			nb = a.cap[i]
 		}
 		a.budget[i] = nb
+		if nb >= a.threshold[i] {
+			// Refill only raises a non-holder's budget: the bit can only
+			// turn on here, never off.
+			a.eligibleBits.Set(i)
+		}
 	}
 }
 
@@ -386,6 +409,11 @@ func (a *Arbiter) FilterEligible(pending, out []bool) []bool {
 	}
 	return out
 }
+
+// AndEligible intersects dst with the budget-eligibility set in place: the
+// word-level form of FilterEligible the bus's arbitration mask is built
+// from. dst must have bitset.Words(Masters()) words.
+func (a *Arbiter) AndEligible(dst bitset.Set) { dst.And(a.eligibleBits) }
 
 // Budget returns master m's current scaled budget.
 func (a *Arbiter) Budget(m int) int64 { return a.budget[m] }
@@ -488,4 +516,5 @@ func (a *Arbiter) SetBudgetForTest(m int, b int64) {
 		panic("core: SetBudgetForTest out of range")
 	}
 	a.budget[m] = b
+	a.eligibleBits.Assign(m, b >= a.threshold[m])
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"creditbus/internal/bitset"
+)
 
 // Mode selects between the two platform configurations of §III.C.
 type Mode int
@@ -48,7 +52,11 @@ type Signals struct {
 	arb  *Arbiter
 	mode Mode
 	tua  int
-	comp []bool
+	// comp holds the COMP latches as a bitset so the bus's arbitration mask
+	// applies the gate with word ANDs. Invariant: the TuA bit is always set
+	// (Table I has no COMP_tua — the TuA competes whenever its budget
+	// allows), so comp is directly usable as the competing mask.
+	comp bitset.Set
 }
 
 // NewSignals builds the Table I signal block for arb. tua is the master
@@ -58,16 +66,17 @@ func NewSignals(arb *Arbiter, mode Mode, tua int) *Signals {
 	if tua < 0 || tua >= arb.Masters() {
 		panic(fmt.Sprintf("core: TuA index %d out of range", tua))
 	}
-	s := &Signals{arb: arb, mode: mode, tua: tua, comp: make([]bool, arb.Masters())}
+	s := &Signals{arb: arb, mode: mode, tua: tua, comp: bitset.New(arb.Masters())}
 	s.Reset()
 	return s
 }
 
 // Reset clears the COMP latches.
 func (s *Signals) Reset() {
-	for i := range s.comp {
-		s.comp[i] = s.mode == OperationMode
+	for i := 0; i < s.arb.Masters(); i++ {
+		s.comp.Assign(i, s.mode == OperationMode)
 	}
+	s.comp.Set(s.tua)
 }
 
 // Mode returns the configured mode.
@@ -80,17 +89,17 @@ func (s *Signals) TuA() int { return s.tua }
 // TuA has a request ready (pending and visible to the arbiter). In
 // operation mode COMP stays set and Update is a no-op.
 func (s *Signals) Update(tuaReady bool) {
-	if s.mode == OperationMode {
+	if s.mode == OperationMode || !tuaReady {
 		return
 	}
-	for i := range s.comp {
+	for i := 0; i < s.arb.Masters(); i++ {
 		if i == s.tua {
 			continue
 		}
 		// Latch: set when the contender's budget is saturated and the TuA
 		// has a request ready; stays set until the contender is granted.
-		if s.arb.Budget(i) >= s.arb.Cap(i) && tuaReady {
-			s.comp[i] = true
+		if s.arb.Budget(i) >= s.arb.Cap(i) {
+			s.comp.Set(i)
 		}
 	}
 }
@@ -99,7 +108,7 @@ func (s *Signals) Update(tuaReady bool) {
 // operation mode COMP is architecturally tied high).
 func (s *Signals) OnGrant(m int) {
 	if s.mode == WCETMode && m != s.tua {
-		s.comp[m] = false
+		s.comp.Clear(m)
 	}
 }
 
@@ -109,8 +118,12 @@ func (s *Signals) Competing(m int) bool {
 	if m == s.tua {
 		return true
 	}
-	return s.comp[m]
+	return s.comp.Test(m)
 }
+
+// AndCompeting intersects dst with the COMP mask in place (the TuA bit is
+// always set). dst must have bitset.Words(Masters()) words.
+func (s *Signals) AndCompeting(dst bitset.Set) { dst.And(s.comp) }
 
 // ContenderRequesting reports REQ_m for a contender: always set in WCET
 // mode (Table I row REQ_{2,3,4}).

@@ -82,6 +82,14 @@ func (s Spec) lotteryTickets(cores int) []int64 {
 			weighted = true
 		}
 	}
+	for _, p := range s.Populations {
+		if p.Weight > 0 {
+			for c := p.FromCore; c <= p.ToCore && c < cores; c++ {
+				tickets[c] = p.Weight
+			}
+			weighted = true
+		}
+	}
 	if !weighted {
 		return nil
 	}
@@ -134,6 +142,22 @@ func (s Spec) Compile() (*Compiled, error) {
 		}
 		c.protos[w.Core] = prog
 		c.sources[w.Core] = w
+	}
+	// Populations expand to per-member Workload entries with derived seeds.
+	// Members of the same population running the same workload at different
+	// seeds share nothing: each gets its own prototype, so cloning per run
+	// stays per-core independent exactly as with explicit entries.
+	for i := range s.Populations {
+		p := s.Populations[i]
+		for core := p.FromCore; core <= p.ToCore; core++ {
+			w := p.member(core)
+			prog, err := buildProgram(&w)
+			if err != nil {
+				return nil, err
+			}
+			c.protos[core] = prog
+			c.sources[core] = &w
+		}
 	}
 	return c, nil
 }

@@ -106,6 +106,58 @@ type Workload struct {
 	Criticality string `json:"criticality,omitempty"`
 }
 
+// Population assigns one workload to a contiguous range of cores — the
+// schema's scale-out form. Writing a 1024-core scenario as 1023 Workload
+// entries would bury the intent; a population states the range once and the
+// compiler expands it to per-core entries, each with its own derived seed
+// (Seed + (core-FromCore)·SeedStride) so members run distinct "binaries" of
+// the same program. Populations are co-runner fleets: they apply only to
+// workloads runs and may not cover the TuA core, whose workload stays an
+// explicit Workloads entry.
+type Population struct {
+	// FromCore/ToCore bound the covered cores, both ends inclusive.
+	FromCore int `json:"from_core"`
+	ToCore   int `json:"to_core"`
+	// Name is the bundled workload every member runs (see workload.Names).
+	Name string `json:"workload"`
+	// Seed is the first member's workload seed (default 1); member c runs
+	// with Seed + (c-FromCore)·SeedStride.
+	Seed uint64 `json:"seed,omitempty"`
+	// SeedStride spaces consecutive members' seeds (default 1). A stride of
+	// 0 is the default, not "identical seeds" — state Seed per-core in
+	// Workloads if truly identical members are wanted.
+	SeedStride uint64 `json:"seed_stride,omitempty"`
+	// Ops truncates each member's trace (0 = full).
+	Ops int `json:"ops,omitempty"`
+	// Loop replays each member's trace forever.
+	Loop bool `json:"loop,omitempty"`
+	// Weight is each member's lottery ticket count (policy LOT; default 1).
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// member synthesises the Workload entry population p induces on core c.
+func (p Population) member(c int) Workload {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	stride := p.SeedStride
+	if stride == 0 {
+		stride = 1
+	}
+	return Workload{
+		Core:   c,
+		Name:   p.Name,
+		Seed:   seed + uint64(c-p.FromCore)*stride,
+		Ops:    p.Ops,
+		Loop:   p.Loop,
+		Weight: p.Weight,
+	}
+}
+
+// covers reports whether core c is a member of the population.
+func (p Population) covers(c int) bool { return c >= p.FromCore && c <= p.ToCore }
+
 // Seeds is the run-seed schedule: either an explicit List, or Runs seeds
 // derived as Base + i·Stride (Stride 0 means campaign.SeedStride, the
 // module-wide default schedule).
@@ -168,6 +220,10 @@ type Spec struct {
 	// exactly one entry (the TuA); workloads runs take one per
 	// participating core, idle cores omitted.
 	Workloads []Workload `json:"workloads"`
+	// Populations assigns one workload to whole core ranges (workloads runs
+	// only) — the compact form for large co-runner fleets. Ranges may not
+	// overlap each other, the Workloads entries or the TuA core.
+	Populations []Population `json:"populations,omitempty"`
 
 	// Seeds is the run-seed schedule (default: one run, seed Base).
 	Seeds Seeds `json:"seeds"`
@@ -359,6 +415,9 @@ func (s Spec) Validate() error {
 	if s.Cores < 0 {
 		return fmt.Errorf("scenario: cores = %d, need > 0 (or 0 for the default)", s.Cores)
 	}
+	if s.Cores > sim.MaxCores {
+		return fmt.Errorf("scenario: cores = %d exceeds the supported maximum of %d", s.Cores, sim.MaxCores)
+	}
 	cores := s.cores()
 	if _, err := ParsePolicy(s.Policy); err != nil {
 		return err
@@ -443,9 +502,42 @@ func (s Spec) Validate() error {
 		}
 	}
 
+	for i, p := range s.Populations {
+		if s.Run != RunWorkloads {
+			return fmt.Errorf("scenario: populations[%d] only applies to %s runs", i, RunWorkloads)
+		}
+		if p.FromCore < 0 || p.ToCore >= cores || p.FromCore > p.ToCore {
+			return fmt.Errorf("scenario: populations[%d]: core range [%d,%d] is not within [0,%d) of a %d-core platform",
+				i, p.FromCore, p.ToCore, cores, cores)
+		}
+		for c := p.FromCore; c <= p.ToCore; c++ {
+			if occupied[c] {
+				return fmt.Errorf("scenario: populations[%d]: core %d already has a workload", i, c)
+			}
+			occupied[c] = true
+		}
+		if _, ok := workload.ByName(p.Name); !ok {
+			return fmt.Errorf("scenario: populations[%d]: unknown workload %q (have %v)", i, p.Name, workload.Names())
+		}
+		if p.Ops < 0 {
+			return fmt.Errorf("scenario: populations[%d].ops = %d", i, p.Ops)
+		}
+		if p.Weight < 0 {
+			return fmt.Errorf("scenario: populations[%d].weight = %d", i, p.Weight)
+		}
+		if p.Weight != 0 && s.Policy != "LOT" {
+			return fmt.Errorf("scenario: populations[%d].weight only applies to policy LOT", i)
+		}
+	}
+
 	tua, err := s.tua()
 	if err != nil {
 		return err
+	}
+	for i, p := range s.Populations {
+		if p.covers(tua) {
+			return fmt.Errorf("scenario: populations[%d] covers the TuA core %d; the TuA takes an explicit workloads entry", i, tua)
+		}
 	}
 	if !occupied[tua] {
 		return fmt.Errorf("scenario: the TuA core %d has no workload", tua)

@@ -79,33 +79,90 @@ func pct(src Source, p int) bool { return src.Intn(100) < p }
 // oneOf picks a uniform element.
 func oneOf[T any](src Source, xs ...T) T { return xs[src.Intn(len(xs))] }
 
-// Sampling-space constants. Cores span the paper's 4-core platform down to
-// dual-core and up to 16 masters; operation counts are truncated so a
-// generated scenario simulates in milliseconds and a fuzzing campaign can
-// afford millions of them.
+// Sampling-space constants. Operation counts are truncated so a generated
+// scenario simulates in milliseconds and a fuzzing campaign can afford
+// millions of them.
 var (
-	coreCounts = []int{2, 2, 3, 4, 4, 4, 6, 8, 12, 16}
+	smallCores = []int{2, 2, 3, 4, 4, 4, 6, 8, 12, 16}
 	policies   = []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI"}
 	engines    = []string{"", scenario.EngineFast, scenario.EnginePerCycle}
+	// ueNames are the population workloads (see workload's UE profiles).
+	ueNames = []string{"ue-stream", "ue-web", "ue-voice", "ue-mix"}
 )
 
+// drawCores samples the platform size, log-skewed: most draws stay on the
+// paper-scale 2–16-core platforms where the op budget allows long programs,
+// with a deliberate tail out to the supported maximum — including 257, which
+// straddles a bitset word boundary — so the scale-out structures are fuzzed
+// at every magnitude without the campaign's wall-clock being dominated by
+// thousand-master per-cycle reference runs.
+func drawCores(src Source) int {
+	switch {
+	case pct(src, 72):
+		return oneOf(src, smallCores...)
+	case pct(src, 60):
+		return oneOf(src, 24, 32, 48, 64)
+	case pct(src, 60):
+		return oneOf(src, 96, 128, 192, 257)
+	default:
+		return oneOf(src, 384, 512, 768, 1024)
+	}
+}
+
+// tuaOps budgets the TuA program length by platform size: the oracle layer
+// replays every scenario on the per-cycle reference engine, whose cost is
+// cycles × masters, and a saturated thousand-master platform makes the TuA
+// wait ~N·MaxL cycles per request — so the op budget shrinks as the
+// population grows to keep a generated scenario affordable.
+func tuaOps(src Source, cores int) int {
+	switch {
+	case cores <= 16:
+		return between(src, 60, 800)
+	case cores <= 64:
+		return between(src, 24, 120)
+	case cores <= 256:
+		return between(src, 8, 40)
+	default:
+		return between(src, 4, 12)
+	}
+}
+
+// coOps budgets a finite co-runner, scaled like tuaOps.
+func coOps(src Source, cores int) int {
+	switch {
+	case cores <= 16:
+		return between(src, 50, 400)
+	case cores <= 64:
+		return between(src, 30, 150)
+	case cores <= 256:
+		return between(src, 16, 60)
+	default:
+		return between(src, 8, 24)
+	}
+}
+
 // Generate draws one valid scenario.Spec from the full sampling space:
-// cores 2–16, every policy, every credit kind with randomised num/den/
-// cap-factor/privileged-core parameters, platform latency and geometry
-// overrides, per-core workload+weight+criticality mixes, all three run
+// cores 2–1024 (log-skewed, see drawCores), every policy, every credit kind
+// with randomised num/den/cap-factor/privileged-core parameters, platform
+// latency and geometry overrides, per-core workload+weight+criticality
+// mixes, UE-profile population fleets on the larger platforms, all three run
 // kinds, both engines and 1–2-seed schedules. The returned spec always
 // passes Validate — Generate panics otherwise, which turns any gap between
 // the generator and the schema's semantic rules into a fuzzing finding
 // instead of a silent skip.
 func Generate(src Source, name string) scenario.Spec {
 	s := scenario.Spec{Name: name}
-	s.Cores = oneOf(src, coreCounts...)
+	s.Cores = drawCores(src)
 	s.Policy = oneOf(src, policies...)
 	s.Run = runKind(src)
 	s.Engine = oneOf(src, engines...)
 
-	if pct(src, 50) {
-		s.Platform = platform(src)
+	// Beyond 64 masters the override is mandatory: platform() clamps the
+	// memory latency there, bounding N·MaxL — the per-request wait of a
+	// saturated platform — which otherwise makes per-cycle reference runs
+	// take whole seconds at the top of the core range.
+	if pct(src, 50) || s.Cores > 64 {
+		s.Platform = platform(src, s.Cores)
 	}
 
 	tua := workloads(src, &s)
@@ -149,11 +206,17 @@ func runKind(src Source) string {
 // platform draws an override block: latencies always (they move MaxL, the
 // quantity every credit bound scales with), geometry sometimes. Sets stay
 // powers of two (cache.Config requires it); LineBytes stays at the default
-// 32 so workload working-set reasoning keeps holding.
-func platform(src Source) *scenario.Platform {
+// 32 so workload working-set reasoning keeps holding. Past 64 cores the
+// memory latency is clamped low: worst-case per-request waits grow with
+// N·MaxL, and the reference engine pays for every one of those cycles.
+func platform(src Source, cores int) *scenario.Platform {
+	memHi := 48
+	if cores > 64 {
+		memHi = 16
+	}
 	p := &scenario.Platform{
 		L2HitLatency: int64(between(src, 1, 10)),
-		MemLatency:   int64(between(src, 8, 48)),
+		MemLatency:   int64(between(src, 8, memHi)),
 	}
 	if pct(src, 40) {
 		p.L1Sets = oneOf(src, 16, 32, 64)
@@ -191,11 +254,11 @@ func workloads(src Source, s *scenario.Spec) int {
 			w.Seed = uint64(between(src, 2, 5))
 		}
 		if isTuA {
-			w.Ops = between(src, 60, 800)
+			w.Ops = tuaOps(src, s.Cores)
 		} else if pct(src, 70) {
 			w.Loop = true
 		} else {
-			w.Ops = between(src, 50, 400)
+			w.Ops = coOps(src, s.Cores)
 		}
 		if s.Policy == "LOT" && pct(src, 50) {
 			w.Weight = int64(between(src, 1, 8))
@@ -233,8 +296,53 @@ func workloads(src Source, s *scenario.Spec) int {
 			}
 			s.Workloads = append(s.Workloads, co)
 		}
+		if s.Cores >= 16 && pct(src, 40) {
+			population(src, s, tua)
+		}
 	}
 	return tua
+}
+
+// population sometimes adds a UE-profile fleet to a workloads run: a
+// contiguous free range of up to 16 members growing upward from a random
+// start. Members carry derived seeds (the schema's per-member seed stride),
+// so the fleet is heterogeneous from a single entry. When the drawn start
+// lands on an occupied core the draw is simply forfeited — the generator
+// favours unconditional validity over population density.
+func population(src Source, s *scenario.Spec, tua int) {
+	occupied := map[int]bool{tua: true}
+	for _, w := range s.Workloads {
+		occupied[w.Core] = true
+	}
+	start := src.Intn(s.Cores)
+	want := between(src, 2, 16)
+	end := start
+	for end < s.Cores && end-start < want && !occupied[end] {
+		end++
+	}
+	if end == start {
+		return
+	}
+	p := scenario.Population{
+		FromCore: start,
+		ToCore:   end - 1,
+		Name:     oneOf(src, ueNames...),
+	}
+	if pct(src, 50) {
+		p.Seed = uint64(between(src, 1, 1<<16))
+	}
+	if pct(src, 30) {
+		p.SeedStride = uint64(between(src, 2, 7))
+	}
+	if pct(src, 70) {
+		p.Loop = true
+	} else {
+		p.Ops = between(src, 30, 120)
+	}
+	if s.Policy == "LOT" && pct(src, 50) {
+		p.Weight = int64(between(src, 1, 8))
+	}
+	s.Populations = append(s.Populations, p)
 }
 
 // credit draws the CBA variant. Nil means off. The privileged core for the

@@ -82,6 +82,21 @@ func reductions(sp scenario.Spec) []scenario.Spec {
 		})
 	}
 
+	// Smaller fleets: drop each population outright, then halve each
+	// multi-member range (keeping the low half, whose member seeds are
+	// unchanged by construction).
+	for i := range sp.Populations {
+		i := i
+		add(func(c *scenario.Spec) {
+			c.Populations = append(c.Populations[:i], c.Populations[i+1:]...)
+		})
+		if p := sp.Populations[i]; p.ToCore > p.FromCore {
+			add(func(c *scenario.Spec) {
+				c.Populations[i].ToCore = p.FromCore + (p.ToCore-p.FromCore)/2
+			})
+		}
+	}
+
 	// Shorter programs: halve each truncated trace, pin each looped
 	// co-runner to a short finite prefix.
 	for i := range sp.Workloads {
@@ -96,12 +111,29 @@ func reductions(sp scenario.Spec) []scenario.Spec {
 			})
 		}
 	}
+	for i := range sp.Populations {
+		i := i
+		if sp.Populations[i].Ops > 1 {
+			add(func(c *scenario.Spec) { c.Populations[i].Ops /= 2 })
+		}
+		if sp.Populations[i].Loop {
+			add(func(c *scenario.Spec) {
+				c.Populations[i].Loop = false
+				c.Populations[i].Ops = 64
+			})
+		}
+	}
 
 	// Fewer cores: shrink to the highest occupied index + 1.
 	maxCore := 0
 	for _, w := range sp.Workloads {
 		if w.Core > maxCore {
 			maxCore = w.Core
+		}
+	}
+	for _, p := range sp.Populations {
+		if p.ToCore > maxCore {
+			maxCore = p.ToCore
 		}
 	}
 	if need := max(maxCore+1, 2); sp.Cores == 0 || need < sp.Cores {
@@ -135,6 +167,9 @@ func reductions(sp scenario.Spec) []scenario.Spec {
 			for i := range c.Workloads {
 				c.Workloads[i].Weight = 0 // weights are LOT-only
 			}
+			for i := range c.Populations {
+				c.Populations[i].Weight = 0
+			}
 		})
 	}
 	if sp.Engine != "" {
@@ -144,6 +179,12 @@ func reductions(sp scenario.Spec) []scenario.Spec {
 		if sp.Workloads[i].Weight != 0 {
 			i := i
 			add(func(c *scenario.Spec) { c.Workloads[i].Weight = 0 })
+		}
+	}
+	for i := range sp.Populations {
+		if sp.Populations[i].Weight != 0 {
+			i := i
+			add(func(c *scenario.Spec) { c.Populations[i].Weight = 0 })
 		}
 	}
 	return out
@@ -167,6 +208,7 @@ func tuaCore(sp scenario.Spec) int {
 func clone(sp scenario.Spec) scenario.Spec {
 	c := sp
 	c.Workloads = append([]scenario.Workload(nil), sp.Workloads...)
+	c.Populations = append([]scenario.Population(nil), sp.Populations...)
 	c.Seeds.List = append([]uint64(nil), sp.Seeds.List...)
 	if sp.TuA != nil {
 		v := *sp.TuA

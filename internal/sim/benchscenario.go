@@ -17,7 +17,20 @@ import (
 // definition shared by BenchmarkMachineStep{Slow,Fast} and cmd/simbench, so
 // BENCH_sim.json and the in-tree benchmarks always measure the same thing.
 func NewEngineBenchMachine() (*Machine, error) {
+	return NewScalingBenchMachine(DefaultConfig().Cores)
+}
+
+// NewScalingBenchMachine is NewEngineBenchMachine generalised to an arbitrary
+// core count: the same contended WCET scenario (looped canrdr TuA, cores-1
+// Table I injectors, homogeneous CBA over random permutations, seed 1) at any
+// population up to MaxCores. It is the measurement platform behind the
+// core_scaling section of BENCH_sim.json: the scenario keeps the bus
+// saturated at every population, so cycles/sec across core counts isolates
+// the per-decision arbitration and state-walk cost that the scale-out
+// refactor flattens.
+func NewScalingBenchMachine(cores int) (*Machine, error) {
 	cfg := DefaultConfig()
+	cfg.Cores = cores
 	cfg.Credit.Kind = CreditCBA
 	cfg.Mode = core.WCETMode
 	s, ok := workload.ByName("canrdr")

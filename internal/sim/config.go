@@ -59,6 +59,13 @@ type CreditSpec struct {
 	CapFactor int64
 }
 
+// MaxCores is the largest supported core/bus-master population. The scale-out
+// structures (eligibility bitsets, the bus's visibility ring, the flat
+// horizon scratch) have no intrinsic ceiling, but every supported count is
+// exercised by the differential and oracle suites — counts beyond this are
+// rejected by Validate rather than run unverified.
+const MaxCores = 1024
+
 // Config describes the platform. The zero value is not valid; start from
 // DefaultConfig.
 type Config struct {
@@ -123,6 +130,9 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.Cores <= 0 {
 		return fmt.Errorf("sim: Cores = %d, need > 0", c.Cores)
+	}
+	if c.Cores > MaxCores {
+		return fmt.Errorf("sim: Cores = %d exceeds the supported maximum of %d", c.Cores, MaxCores)
 	}
 	if c.TuA < 0 || c.TuA >= c.Cores {
 		return fmt.Errorf("sim: TuA = %d out of range", c.TuA)

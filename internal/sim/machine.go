@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
+	"creditbus/internal/bitset"
 	"creditbus/internal/bus"
 	"creditbus/internal/cache"
 	"creditbus/internal/core"
@@ -24,10 +26,12 @@ type Machine struct {
 	signals   *core.Signals
 	memctl    *mem.Controller
 
-	injectors []int       // masters driven by WCET-mode contention injectors
-	live      []*cpu.Core // non-nil cores, for the fast path's hot loops
-	cycle     int64
-	busNext   int64 // bus horizon recorded by the last nextEventCycle
+	injectors    []int       // masters driven by WCET-mode contention injectors
+	injectorBits bitset.Set  // the same masters as a bitset, for word-level reposting
+	live         []*cpu.Core // non-nil cores, for the fast path's hot loops
+	coreNext     []int64     // flat next-event scratch, one entry per live core
+	cycle        int64
+	busNext      int64 // bus horizon recorded by the last nextEventCycle
 
 	// onComplete is the bus completion callback, bound once at construction
 	// so Reuse can hand the same func value back to the bus instead of
@@ -91,6 +95,7 @@ func NewMachine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, erro
 	m.ports = make([]*port, cfg.Cores)
 	m.l1s = make([]*cache.Cache, cfg.Cores)
 	m.l2s = make([]*cache.Cache, cfg.Cores)
+	m.injectorBits = bitset.New(cfg.Cores)
 
 	for i := 0; i < cfg.Cores; i++ {
 		if cfg.Mode == core.WCETMode && i != cfg.TuA {
@@ -98,6 +103,7 @@ func NewMachine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, erro
 				return nil, fmt.Errorf("sim: WCET mode: core %d must be injector-driven (nil program)", i)
 			}
 			m.injectors = append(m.injectors, i)
+			m.injectorBits.Set(i)
 			continue
 		}
 		if programs[i] == nil {
@@ -124,6 +130,7 @@ func NewMachine(cfg Config, programs []cpu.Program, seed uint64) (*Machine, erro
 		m.cores[i] = cpu.NewCore(programs[i], p)
 		m.live = append(m.live, m.cores[i])
 	}
+	m.coreNext = make([]int64, len(m.live))
 	return m, nil
 }
 
@@ -175,13 +182,30 @@ func (m *Machine) Tick() {
 	for _, c := range m.live {
 		c.Tick()
 	}
-	for _, i := range m.injectors {
-		if m.sharedBus.CanPost(i) {
-			// Table I: REQ_{2,3,4} always set; contender holds are MaxL.
-			m.sharedBus.MustPost(i, bus.Request{Hold: m.cfg.Latency.MaxHold()})
+	m.repostInjectors()
+	m.sharedBus.Tick()
+}
+
+// repostInjectors re-asserts the REQ line of every injector without an
+// outstanding request (Table I: REQ_{2,3,4} always set; contender holds are
+// MaxL). The grantable set is injectorBits ∧ ¬pending, diffed word by word
+// against the bus's pending set: between grants this is a few word ANDs,
+// not a loop over a thousand injectors.
+func (m *Machine) repostInjectors() {
+	if len(m.injectors) == 0 {
+		return
+	}
+	hold := m.cfg.Latency.MaxHold()
+	pend := m.sharedBus.PendingWords()
+	for w, inj := range m.injectorBits {
+		// The word is snapshotted before posting: MustPost flips bits only
+		// in pend[w], never in a word still to be visited... and only for
+		// masters already removed from this snapshot.
+		for free := inj &^ pend[w]; free != 0; free &= free - 1 {
+			i := w<<6 + bits.TrailingZeros64(free)
+			m.sharedBus.MustPost(i, bus.Request{Hold: hold})
 		}
 	}
-	m.sharedBus.Tick()
 }
 
 // Run advances until Done or until limit cycles, returning the cycle count

@@ -123,11 +123,7 @@ func (m *Machine) stepDone() bool {
 // holds for every policy in this module (FIFO records only the arrival
 // cycle; the others ignore OnRequest).
 func (m *Machine) postInjectors() {
-	for _, i := range m.injectors {
-		if m.sharedBus.CanPost(i) {
-			m.sharedBus.MustPost(i, bus.Request{Hold: m.cfg.Latency.MaxHold()})
-		}
-	}
+	m.repostInjectors()
 }
 
 // step advances by one engine-appropriate step: a single Tick under
@@ -146,9 +142,16 @@ func (m *Machine) step(limit int64) {
 // means no component can act without external input (a genuine deadlock —
 // Run's limit guard handles it).
 func (m *Machine) nextEventCycle() int64 {
+	// Two passes: gather every live core's relative horizon into the flat
+	// scratch vector, then take the min over contiguous memory. At large
+	// populations the gather is the only part that chases pointers; the min
+	// is a straight-line sweep the hardware prefetcher can stream.
+	for i, c := range m.live {
+		m.coreNext[i] = c.NextEventIn()
+	}
 	next := bus.NoEvent
-	for _, c := range m.live {
-		if in := c.NextEventIn(); in != cpu.NoEvent {
+	for _, in := range m.coreNext {
+		if in != cpu.NoEvent {
 			if at := m.cycle + in; at < next {
 				next = at
 			}

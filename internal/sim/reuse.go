@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"creditbus/internal/arbiter"
+	"creditbus/internal/bitset"
 	"creditbus/internal/bus"
 	"creditbus/internal/cache"
 	"creditbus/internal/core"
@@ -172,6 +173,12 @@ func (m *Machine) Reuse(cfg Config, programs []cpu.Program, seed uint64) error {
 	}
 	m.injectors = m.injectors[:0]
 	m.live = m.live[:0]
+	if words := bitset.Words(cfg.Cores); cap(m.injectorBits) >= words {
+		m.injectorBits = m.injectorBits[:words]
+		m.injectorBits.Reset()
+	} else {
+		m.injectorBits = bitset.New(cfg.Cores)
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		if cfg.Mode == core.WCETMode && i != cfg.TuA {
 			if programs[i] != nil {
@@ -179,6 +186,7 @@ func (m *Machine) Reuse(cfg Config, programs []cpu.Program, seed uint64) error {
 			}
 			m.clearSlot(i)
 			m.injectors = append(m.injectors, i)
+			m.injectorBits.Set(i)
 			continue
 		}
 		if programs[i] == nil {
@@ -211,6 +219,12 @@ func (m *Machine) Reuse(cfg Config, programs []cpu.Program, seed uint64) error {
 			m.cores[i] = cpu.NewCore(programs[i], m.ports[i])
 		}
 		m.live = append(m.live, m.cores[i])
+	}
+
+	if cap(m.coreNext) >= len(m.live) {
+		m.coreNext = m.coreNext[:len(m.live)]
+	} else {
+		m.coreNext = make([]int64, len(m.live))
 	}
 
 	m.cfg = cfg

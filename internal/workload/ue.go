@@ -1,0 +1,130 @@
+package workload
+
+import "creditbus/internal/cpu"
+
+// Population workloads for many-requestor scenarios. A 64–1024-core platform
+// is populated like a cell is populated with user equipment: each member
+// draws a per-seed traffic demand from its type's range and turns it into bus
+// traffic of the matching shape. The three types mirror the classic UE
+// traffic model — video streaming (heavy, 20–30 units), web browsing
+// (variable, 5–15), voice (light, 1–2) — with one bus load standing in for
+// one bandwidth unit per frame. ue-mix draws the type itself from the seed,
+// so a single population entry yields a heterogeneous fleet.
+//
+// Unlike the EEMBC stand-ins these workloads are seed-sensitive by design:
+// scenario populations derive one seed per member, so every member has its
+// own demand level, phase and working-set walk while the scenario file stays
+// a single entry.
+
+func init() {
+	register(Spec{
+		Name: "ue-stream",
+		Description: "heavy streaming member: per-seed demand of 20–30 sequential memory-miss " +
+			"loads per frame over a never-reusing region — the video_streaming UE profile",
+		Build: buildUEStream,
+	})
+	register(Spec{
+		Name: "ue-web",
+		Description: "bursty browsing member: per-seed demand of 5–15 loads (~10% stores) per " +
+			"burst over a 4 KiB working set, with think-time compute between bursts — the " +
+			"web_browsing UE profile",
+		Build: buildUEWeb,
+	})
+	register(Spec{
+		Name: "ue-voice",
+		Description: "light periodic member: 1–2 loads plus one store per 160-cycle frame over " +
+			"a line-sized buffer — the voice_call UE profile",
+		Build: buildUEVoice,
+	})
+	register(Spec{
+		Name: "ue-mix",
+		Description: "population mixer: the seed draws the member's type (35% ue-stream, 50% " +
+			"ue-web, 15% ue-voice) and a derived seed builds that profile",
+		Build: buildUEMix,
+	})
+}
+
+// buildUEStream emits frames of demand sequential line loads over a huge
+// region (every access a clean memory miss), separated by a single compute
+// cycle per load consumed — a heavy streaming member whose bus pressure is
+// its demand draw.
+func buildUEStream(seed uint64) *cpu.Trace {
+	const frames = 24
+	src := stream(seed, 21)
+	demand := 20 + src.Intn(11) // video_streaming: 20–30 loads per frame
+	r := region{base: 0x2000_0000 + (seed%1024)*0x0010_0000}
+	var b builder
+	line := uint64(0)
+	for f := 0; f < frames; f++ {
+		for k := 0; k < demand; k++ {
+			b.load(r.base + line*LineBytes)
+			b.alu(1)
+			line++
+		}
+		b.alu(8)
+	}
+	return b.trace()
+}
+
+// buildUEWeb alternates think-time compute with request bursts of demand
+// loads (and ~10% stores) over a 4 KiB working set that fits L1 — after
+// warm-up most of a burst hits locally and only the working set's cold lines
+// and the stores reach the bus, giving the variable, intermittent pressure of
+// a browsing member.
+func buildUEWeb(seed uint64) *cpu.Trace {
+	const (
+		bursts  = 30
+		wsWords = 4 * 1024 / WordBytes
+	)
+	src := stream(seed, 22)
+	demand := 5 + src.Intn(11) // web_browsing: 5–15 accesses per burst
+	r := region{base: 0x3000_0000 + (seed%1024)*0x0001_0000}
+	var b builder
+	for f := 0; f < bursts; f++ {
+		b.alu(200 + int64(src.Intn(400))) // think time
+		for k := 0; k < demand; k++ {
+			w := uint64(src.Intn(wsWords))
+			if src.Intn(10) == 0 {
+				b.store(r.word(w))
+			} else {
+				b.load(r.word(w))
+			}
+		}
+	}
+	return b.trace()
+}
+
+// buildUEVoice emits small fixed-rate frames: 1–2 loads and one store per
+// 160-cycle frame over a single line — the light, periodic profile of a
+// voice member, whose contribution to contention is frequency, not volume.
+func buildUEVoice(seed uint64) *cpu.Trace {
+	const frames = 60
+	src := stream(seed, 23)
+	demand := 1 + src.Intn(2) // voice_call: 1–2 loads per frame
+	r := region{base: 0x4000_0000 + (seed%1024)*0x0000_0100}
+	var b builder
+	for f := uint64(0); f < frames; f++ {
+		b.alu(160)
+		for k := 0; k < demand; k++ {
+			b.load(r.word(f % 4))
+		}
+		b.store(r.word(f % 4))
+	}
+	return b.trace()
+}
+
+// buildUEMix draws the member's traffic type from the seed — 35% streaming,
+// 50% web, 15% voice — then builds that profile with a derived seed, so one
+// population entry covers a realistic heterogeneous fleet.
+func buildUEMix(seed uint64) *cpu.Trace {
+	src := stream(seed, 24)
+	derived := src.Uint64() | 1 // never 0: workload seeds treat 0 as "default"
+	switch t := src.Intn(100); {
+	case t < 35:
+		return buildUEStream(derived)
+	case t < 85:
+		return buildUEWeb(derived)
+	default:
+		return buildUEVoice(derived)
+	}
+}

@@ -10,6 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"a2time", "aifirf", "atomics", "bitmnp", "burst", "cacheb", "canrdr",
 		"hitter", "matrix", "puwmod", "rspeed", "stream", "tblook", "ttsprk",
+		"ue-mix", "ue-stream", "ue-voice", "ue-web",
 	}
 	got := Names()
 	if len(got) != len(want) {
@@ -151,7 +152,7 @@ func TestTrafficShapes(t *testing.T) {
 func TestDistinctSeedsChangeRandomWorkloads(t *testing.T) {
 	// Random-pattern workloads must differ across build seeds (the seed is
 	// the program identity); deterministic-pattern ones may not.
-	for _, name := range []string{"cacheb", "tblook", "ttsprk"} {
+	for _, name := range []string{"cacheb", "tblook", "ttsprk", "ue-mix", "ue-stream", "ue-voice", "ue-web"} {
 		s, _ := ByName(name)
 		a, b := s.Build(1), s.Build(2)
 		same := true
@@ -169,6 +170,51 @@ func TestDistinctSeedsChangeRandomWorkloads(t *testing.T) {
 		if same {
 			t.Errorf("%s: seeds 1 and 2 give identical traces", name)
 		}
+	}
+}
+
+// TestUEDemandRanges pins the population workloads to their traffic-type
+// demand ranges: per-seed draws must stay inside the UE model's bounds, and
+// ue-mix must actually mix types across a fleet's worth of seeds.
+func TestUEDemandRanges(t *testing.T) {
+	perFrame := func(name string, seed uint64) int {
+		s, _ := ByName(name)
+		loads, _, _, _ := opMix(s.Build(seed))
+		return loads
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		// ue-stream: 24 frames of 20–30 loads each.
+		if l := perFrame("ue-stream", seed); l < 24*20 || l > 24*30 {
+			t.Fatalf("ue-stream seed %d: %d loads outside 24×[20,30]", seed, l)
+		}
+		// ue-voice: 60 frames of 1–2 loads each.
+		if l := perFrame("ue-voice", seed); l < 60*1 || l > 60*2 {
+			t.Fatalf("ue-voice seed %d: %d loads outside 60×[1,2]", seed, l)
+		}
+		// ue-web: 30 bursts of 5–15 accesses (loads + ~10% stores).
+		s, _ := ByName("ue-web")
+		loads, stores, atomics, _ := opMix(s.Build(seed))
+		if acc := loads + stores; acc < 30*5 || acc > 30*15 || atomics != 0 {
+			t.Fatalf("ue-web seed %d: %d accesses outside 30×[5,15] (atomics=%d)", seed, acc, atomics)
+		}
+	}
+
+	// ue-mix over 40 member seeds must produce visibly different volumes —
+	// a voice member (≤ 120 light accesses) and a streaming member (≥ 480
+	// heavy loads) should both appear in any realistic fleet.
+	light, heavy := false, false
+	s, _ := ByName("ue-mix")
+	for seed := uint64(1); seed <= 40; seed++ {
+		loads, _, _, _ := opMix(s.Build(seed))
+		if loads <= 120 {
+			light = true
+		}
+		if loads >= 480 {
+			heavy = true
+		}
+	}
+	if !light || !heavy {
+		t.Fatalf("ue-mix fleet lacks diversity: light=%v heavy=%v", light, heavy)
 	}
 }
 
