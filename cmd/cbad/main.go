@@ -1,0 +1,94 @@
+// Command cbad is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server over the deterministic scenario/campaign stack. Clients
+// POST declarative scenario specs (internal/scenario, DESIGN.md §7) to
+// /v1/run and receive full per-seed results; identical submissions are
+// served from a content-addressed result cache and never re-simulate, and
+// concurrent identical submissions share a single execution (single-flight).
+// A bounded admission queue refuses overload with 429 instead of letting
+// latency grow without bound. DESIGN.md §11 documents the architecture.
+//
+// Usage:
+//
+//	cbad -addr 127.0.0.1:8437 -workers 8 -queue 256 -cache-size 4096
+//
+// Endpoints:
+//
+//	POST /v1/run     — submit a scenario spec, receive per-seed results
+//	GET  /v1/stats   — hits, misses, executions, queue depth, in-flight
+//	GET  /v1/healthz — liveness
+//
+// cmd/cbaload is the matching load-generator client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"creditbus/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cbad", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8437", "listen address")
+		workers   = fs.Int("workers", 0, "simulation workers (0 = one per CPU)")
+		queue     = fs.Int("queue", service.DefaultQueue, "admission queue capacity (full queue => 429)")
+		cacheSize = fs.Int("cache-size", service.DefaultCacheSize, "result cache capacity in (spec, seed) entries")
+	)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := service.New(service.Options{Workers: *workers, Queue: *queue, CacheSize: *cacheSize})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	st := srv.Snapshot()
+	fmt.Fprintf(stdout, "cbad: listening on %s (workers=%d queue=%d cache-size=%d)\n",
+		ln.Addr(), st.Workers, st.QueueCapacity, st.CacheCapacity)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Graceful: stop accepting, let in-flight requests finish, drain
+		// the simulation pool.
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shctx)
+		srv.Close()
+		fmt.Fprintln(stdout, "cbad: shut down")
+		return nil
+	case err := <-errc:
+		srv.Close()
+		return err
+	}
+}

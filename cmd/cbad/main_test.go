@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes from its own
+// goroutine while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"positional"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run(ctx, []string{"-addr", "256.0.0.1:bad"}, &out); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, submits
+// a request end to end, and checks context cancellation shuts it down.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out) }()
+
+	// The listen line carries the resolved address.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", out.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	spec := `{"name":"e2e","run":"wcet","workloads":[{"core":0,"workload":"matrix","ops":100}],"seeds":{"list":[3]}}`
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/run", addr), "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run request: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on context cancellation")
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("no shutdown notice:\n%s", out.String())
+	}
+}

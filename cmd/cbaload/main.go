@@ -1,0 +1,345 @@
+// Command cbaload is the load-generator client for cmd/cbad: it replays a
+// population traffic mix (the ue-stream/ue-web/ue-voice/ue-mix profiles of
+// DESIGN.md §10) as concurrent scenario submissions against a live daemon
+// and reports sustained throughput, latency percentiles and the server's
+// cache effectiveness.
+//
+// The request stream cycles a fixed set of distinct specs, so repeated
+// submissions exercise the daemon's content-addressed cache: with R
+// requests over D distinct (spec, seed) units, a healthy daemon reports D
+// misses and R−D hits. With -verify, every distinct spec's response is
+// compared byte-for-byte against a direct in-process library run — the
+// end-to-end proof that serving results through the daemon changes nothing.
+//
+// Usage:
+//
+//	cbaload -addr http://127.0.0.1:8437 -requests 64 -concurrency 8 -verify
+//
+// Exit status is non-zero on any request error, on a verification
+// mismatch, or — with -require-hit — when the server reports zero cache
+// hits (the CI service gate).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"creditbus/internal/scenario"
+	"creditbus/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbaload:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the machine-readable load report (-json).
+type summary struct {
+	Requests    int           `json:"requests"`
+	OK          int           `json:"ok"`
+	Throttled   int           `json:"throttled"`
+	Errors      int           `json:"errors"`
+	DistinctRun int           `json:"distinct_specs"`
+	Duration    float64       `json:"duration_sec"`
+	Throughput  float64       `json:"requests_per_sec"`
+	P50Ms       float64       `json:"latency_p50_ms"`
+	P99Ms       float64       `json:"latency_p99_ms"`
+	MaxMs       float64       `json:"latency_max_ms"`
+	Verified    int           `json:"verified_specs"`
+	HitRate     float64       `json:"hit_rate"`
+	Server      service.Stats `json:"server_stats"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cbaload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8437", "cbad base URL")
+		requests    = fs.Int("requests", 64, "total submissions")
+		concurrency = fs.Int("concurrency", 8, "concurrent clients")
+		profiles    = fs.String("profiles", "ue-stream,ue-web,ue-voice,ue-mix", "comma-separated co-runner traffic profiles")
+		distinct    = fs.Int("distinct", 2, "distinct spec variants per profile (seed-spaced)")
+		cores       = fs.Int("cores", 8, "platform cores per scenario")
+		seeds       = fs.Int("seeds", 1, "run seeds per spec")
+		ops         = fs.Int("ops", 200, "TuA operation count (run length lever)")
+		verify      = fs.Bool("verify", false, "compare responses byte-for-byte against direct library runs")
+		requireHit  = fs.Bool("require-hit", false, "fail when the server reports zero cache hits")
+		jsonOut     = fs.Bool("json", false, "print the summary as JSON")
+		timeout     = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 || *seeds <= 0 {
+		return fmt.Errorf("requests, concurrency, distinct and seeds must all be positive")
+	}
+
+	specs, err := buildSpecs(strings.Split(*profiles, ","), *distinct, *cores, *seeds, *ops)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		okCount   int
+		throttled int
+		errCount  int
+		firstErr  error
+		captured  = make([]*service.RunResponse, len(specs))
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				si := i % len(specs)
+				rr, code, d, err := submit(client, *addr, specs[si])
+				mu.Lock()
+				switch {
+				case err != nil:
+					errCount++
+					if firstErr == nil {
+						firstErr = err
+					}
+				case code == http.StatusTooManyRequests:
+					throttled++
+				case code != http.StatusOK:
+					errCount++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("request %d: status %d", i, code)
+					}
+				default:
+					okCount++
+					latencies = append(latencies, float64(d.Microseconds())/1000)
+					if captured[si] == nil {
+						captured[si] = rr
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	verified := 0
+	if *verify {
+		if verified, err = verifyResponses(specs, captured); err != nil {
+			return err
+		}
+	}
+
+	stats, err := fetchStats(client, *addr)
+	if err != nil {
+		return fmt.Errorf("fetch stats: %w", err)
+	}
+
+	sum := summary{
+		Requests:    *requests,
+		OK:          okCount,
+		Throttled:   throttled,
+		Errors:      errCount,
+		DistinctRun: len(specs),
+		Duration:    elapsed.Seconds(),
+		Throughput:  float64(*requests) / elapsed.Seconds(),
+		Verified:    verified,
+		Server:      stats,
+	}
+	sum.P50Ms, sum.P99Ms, sum.MaxMs = percentiles(latencies)
+	if lookups := stats.Hits + stats.Misses; lookups > 0 {
+		sum.HitRate = float64(stats.Hits) / float64(lookups)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "cbaload: %d requests (%d ok, %d throttled, %d errors) over %d distinct specs in %.2fs = %.1f req/s\n",
+			sum.Requests, sum.OK, sum.Throttled, sum.Errors, sum.DistinctRun, sum.Duration, sum.Throughput)
+		fmt.Fprintf(stdout, "cbaload: latency p50 %.2fms p99 %.2fms max %.2fms\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
+		fmt.Fprintf(stdout, "cbaload: server hits=%d misses=%d coalesced=%d executions=%d hit-rate %.1f%%\n",
+			stats.Hits, stats.Misses, stats.Coalesced, stats.Executions, 100*sum.HitRate)
+		if *verify {
+			fmt.Fprintf(stdout, "cbaload: verified %d/%d distinct specs byte-identical to direct library runs\n", verified, len(specs))
+		}
+	}
+
+	if errCount > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)", errCount, *requests, firstErr)
+	}
+	if *requireHit && stats.Hits == 0 {
+		return fmt.Errorf("server reports zero cache hits after %d requests over %d distinct specs", *requests, len(specs))
+	}
+	return nil
+}
+
+// buildSpecs assembles the distinct scenario set: per profile and variant, a
+// terminating TuA on core 0 against a looping co-runner population running
+// the profile on every other core. Variants are separated by the
+// population's workload seed, so each variant has its own semantic cache
+// key. Every spec is validated locally before any request goes out.
+func buildSpecs(profiles []string, distinct, cores, seeds, ops int) ([]scenario.Spec, error) {
+	if cores < 2 {
+		return nil, fmt.Errorf("cores = %d: population scenarios need at least 2", cores)
+	}
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	var specs []scenario.Spec
+	for _, p := range profiles {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		for v := 0; v < distinct; v++ {
+			sp := scenario.Spec{
+				Name:        fmt.Sprintf("load-%s-%d", p, v),
+				Description: fmt.Sprintf("cbaload mix: %s population, variant %d", p, v),
+				Cores:       cores,
+				Run:         scenario.RunWorkloads,
+				Workloads: []scenario.Workload{
+					{Core: 0, Name: "matrix", Ops: ops, Criticality: scenario.CritHigh},
+				},
+				Populations: []scenario.Population{
+					{FromCore: 1, ToCore: cores - 1, Name: p, Loop: true, Seed: uint64(1 + v*cores)},
+				},
+				Seeds: scenario.Seeds{List: seedList},
+			}
+			if err := sp.Validate(); err != nil {
+				return nil, fmt.Errorf("profile %q: %w", p, err)
+			}
+			specs = append(specs, sp)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no traffic profiles")
+	}
+	return specs, nil
+}
+
+// submit POSTs one spec and decodes the response on 200.
+func submit(client *http.Client, addr string, sp scenario.Spec) (*service.RunResponse, int, time.Duration, error) {
+	data, err := sp.Encode()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, time.Since(start), err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	d := time.Since(start)
+	if err != nil {
+		return nil, resp.StatusCode, d, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, d, nil
+	}
+	var rr service.RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		return nil, resp.StatusCode, d, fmt.Errorf("decode response: %w", err)
+	}
+	return &rr, resp.StatusCode, d, nil
+}
+
+// verifyResponses proves the daemon changed nothing: each captured
+// response's per-seed result must be byte-identical, in canonical snapshot
+// encoding, to a direct in-process run of the same compiled spec.
+func verifyResponses(specs []scenario.Spec, captured []*service.RunResponse) (int, error) {
+	verified := 0
+	for i, rr := range captured {
+		if rr == nil {
+			continue // this variant never got a 200 (e.g. all throttled)
+		}
+		compiled, err := specs[i].Compile()
+		if err != nil {
+			return verified, err
+		}
+		if len(rr.Runs) != len(compiled.Seeds) {
+			return verified, fmt.Errorf("%s: %d runs for %d seeds", specs[i].Name, len(rr.Runs), len(compiled.Seeds))
+		}
+		for j, seed := range compiled.Seeds {
+			direct, err := compiled.RunSeed(seed)
+			if err != nil {
+				return verified, err
+			}
+			want, err := json.Marshal(scenario.Snap(direct))
+			if err != nil {
+				return verified, err
+			}
+			got, err := json.Marshal(rr.Runs[j].Result)
+			if err != nil {
+				return verified, err
+			}
+			if !bytes.Equal(want, got) {
+				return verified, fmt.Errorf("%s seed %d: response differs from direct run\nserver: %s\ndirect: %s",
+					specs[i].Name, seed, got, want)
+			}
+		}
+		verified++
+	}
+	if verified == 0 {
+		return 0, fmt.Errorf("verification requested but no responses were captured")
+	}
+	return verified, nil
+}
+
+// fetchStats reads the daemon's /v1/stats counters.
+func fetchStats(client *http.Client, addr string) (service.Stats, error) {
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return service.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.Stats{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.Stats{}, err
+	}
+	return st, nil
+}
+
+// percentiles returns p50, p99 and max over latency samples (ms).
+func percentiles(ms []float64) (p50, p99, max float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted)-1) + 0.5)
+		return sorted[i]
+	}
+	return at(0.50), at(0.99), sorted[len(sorted)-1]
+}

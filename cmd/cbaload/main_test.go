@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"creditbus/internal/service"
+)
+
+// startDaemon boots the service core over httptest — the same handler
+// cmd/cbad serves.
+func startDaemon(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return hs
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-requests", "0"}, &out); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if err := run([]string{"-profiles", "no-such-workload"}, &out); err == nil {
+		t.Fatal("unknown traffic profile accepted")
+	}
+	if err := run([]string{"-cores", "1"}, &out); err == nil {
+		t.Fatal("coreless population accepted")
+	}
+}
+
+// TestLoadAgainstDaemon drives a small verified mix and checks the cache
+// comes up hot: repeated submissions of the distinct spec set must hit.
+func TestLoadAgainstDaemon(t *testing.T) {
+	hs := startDaemon(t, service.Options{Workers: 4})
+	var out bytes.Buffer
+	args := []string{
+		"-addr", hs.URL,
+		"-requests", "12",
+		"-concurrency", "3",
+		"-profiles", "ue-web",
+		"-distinct", "2",
+		"-cores", "4",
+		"-ops", "120",
+		"-verify",
+		"-require-hit",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("load run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "12 requests (12 ok, 0 throttled, 0 errors)") {
+		t.Fatalf("unexpected request accounting:\n%s", text)
+	}
+	if !strings.Contains(text, "verified 2/2 distinct specs") {
+		t.Fatalf("verification did not cover the distinct specs:\n%s", text)
+	}
+	// 12 requests over 2 distinct single-seed specs: 2 misses, 10 lookups
+	// served without re-simulation (hits after the first round).
+	if !strings.Contains(text, "misses=2") || !strings.Contains(text, "executions=2") {
+		t.Fatalf("cache accounting:\n%s", text)
+	}
+}
+
+// TestLoadJSONSummary: the -json report carries the gate numbers.
+func TestLoadJSONSummary(t *testing.T) {
+	hs := startDaemon(t, service.Options{Workers: 2})
+	var out bytes.Buffer
+	args := []string{
+		"-addr", hs.URL,
+		"-requests", "6", "-concurrency", "2",
+		"-profiles", "ue-voice", "-distinct", "1", "-cores", "4", "-ops", "120",
+		"-json",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{`"requests": 6`, `"errors": 0`, `"hit_rate"`, `"server_stats"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("JSON summary lacks %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadReportsErrors: an unreachable daemon is a hard failure.
+func TestLoadReportsErrors(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-addr", "http://127.0.0.1:1", // reserved port: nothing listens
+		"-requests", "2", "-concurrency", "1", "-timeout", "2s",
+	}
+	if err := run(args, &out); err == nil {
+		t.Fatal("load against a dead daemon succeeded")
+	}
+}
+
+// TestRequireHitFailsCold: -require-hit on a load with no repeated specs
+// must fail — the flag is the CI gate for cache effectiveness.
+func TestRequireHitFailsCold(t *testing.T) {
+	hs := startDaemon(t, service.Options{Workers: 2})
+	var out bytes.Buffer
+	// 2 requests over 2 distinct specs: every lookup is a miss.
+	args := []string{
+		"-addr", hs.URL,
+		"-requests", "2", "-concurrency", "1",
+		"-profiles", "ue-web", "-distinct", "2", "-cores", "4", "-ops", "120",
+		"-require-hit",
+	}
+	err := run(args, &out)
+	if err == nil || !strings.Contains(err.Error(), "zero cache hits") {
+		t.Fatalf("cold cache passed -require-hit: %v", err)
+	}
+}

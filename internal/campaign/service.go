@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is returned by Pool.TrySubmit when the bounded job queue is
+// at capacity — the admission-control signal a service maps to backpressure
+// (HTTP 429) instead of letting latency grow without bound.
+var ErrQueueFull = errors.New("campaign: job queue full")
+
+// ErrPoolClosed is returned by Pool.TrySubmit after Close.
+var ErrPoolClosed = errors.New("campaign: pool closed")
+
+// Pool is RunPooled's execution model promoted to a long-running service
+// form: a fixed set of workers, each owning one reusable state S built once
+// by newState, draining a bounded job queue for the lifetime of the pool
+// instead of a single campaign's run range. The same determinism contract
+// carries over — which worker executes which job is scheduling-dependent,
+// so jobs must be history-insensitive in the state they receive (exactly
+// what sim.Runner guarantees via Machine.Reuse).
+//
+// Unlike RunPooled there is no result collection or ordering: a service's
+// jobs carry their own completion channels. What the pool adds is admission
+// control — TrySubmit never blocks, and a full queue is an explicit
+// ErrQueueFull the caller can surface as backpressure.
+type Pool[S any] struct {
+	jobs    chan func(S)
+	workers int
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewPool starts workers goroutines (DefaultWorkers when ≤ 0), each with
+// its own newState() result, over a job queue of the given capacity. A zero
+// queue capacity still admits jobs whenever a worker is ready to receive.
+func NewPool[S any](workers, queue int, newState func() S) (*Pool[S], error) {
+	if newState == nil {
+		return nil, fmt.Errorf("campaign: nil state factory")
+	}
+	if queue < 0 {
+		return nil, fmt.Errorf("campaign: queue capacity = %d", queue)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool[S]{jobs: make(chan func(S), queue), workers: workers}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			state := newState()
+			for job := range p.jobs {
+				job(state)
+			}
+		}()
+	}
+	return p, nil
+}
+
+// TrySubmit enqueues job without blocking. It returns ErrQueueFull when the
+// queue is at capacity and no worker is ready, and ErrPoolClosed after
+// Close; on nil it reports the job unsubmittable.
+func (p *Pool[S]) TrySubmit(job func(S)) error {
+	if job == nil {
+		return fmt.Errorf("campaign: nil job")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth reports the number of jobs admitted but not yet picked up by a
+// worker.
+func (p *Pool[S]) QueueDepth() int { return len(p.jobs) }
+
+// Workers reports the pool's worker count.
+func (p *Pool[S]) Workers() int { return p.workers }
+
+// Close stops intake, lets the workers drain every admitted job, and waits
+// for them to exit. Close is idempotent.
+func (p *Pool[S]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

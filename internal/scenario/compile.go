@@ -227,6 +227,26 @@ func (c *Compiled) RunSeedEngine(seed uint64, perCycle bool) (sim.Result, error)
 	return c.RunSeedProbed(seed, perCycle, nil)
 }
 
+// RunSeedRunner executes one run on an externally owned recycled Runner —
+// the execution form a long-lived service worker uses, where one Runner
+// serves an arbitrary sequence of different compiled scenarios and
+// Machine.Reuse keeps every run bit-identical to a fresh-machine RunSeed.
+// Programs are fresh clones per call, so any number of goroutines may run
+// one shared Compiled concurrently as long as each owns its Runner.
+func (c *Compiled) RunSeedRunner(rn *sim.Runner, seed uint64) (sim.Result, error) {
+	cfg := c.Config
+	switch c.Spec.Run {
+	case RunIsolation:
+		return rn.IsolationProbed(cfg, c.Program(c.tua), seed, nil)
+	case RunWCET:
+		return rn.MaxContentionProbed(cfg, c.Program(c.tua), seed, nil)
+	case RunWorkloads:
+		return rn.WorkloadsProbed(cfg, c.Programs(), seed, nil)
+	default:
+		return sim.Result{}, fmt.Errorf("scenario: unknown run kind %q", c.Spec.Run)
+	}
+}
+
 // RunSeedProbed executes one run with an explicit engine choice and a
 // step-granularity observer — the hook internal/scengen's invariant oracles
 // use to watch budgets and bus conservation at every observation point. A

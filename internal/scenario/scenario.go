@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -160,7 +161,9 @@ func (p Population) covers(c int) bool { return c >= p.FromCore && c <= p.ToCore
 
 // Seeds is the run-seed schedule: either an explicit List, or Runs seeds
 // derived as Base + i·Stride (Stride 0 means campaign.SeedStride, the
-// module-wide default schedule).
+// module-wide default schedule). The two forms are exclusive; Validate
+// rejects a spec that states both, duplicate List entries, and explicit
+// strides whose derived seeds would wrap uint64.
 type Seeds struct {
 	Base   uint64   `json:"base,omitempty"`
 	Runs   int      `json:"runs,omitempty"`
@@ -168,7 +171,47 @@ type Seeds struct {
 	List   []uint64 `json:"list,omitempty"`
 }
 
-// Expand materialises the schedule.
+// Validate checks the schedule's own rules. Spec.Validate calls it; any
+// standalone consumer of Expand owes the same call first, because Expand
+// assumes a valid schedule.
+func (s Seeds) Validate() error {
+	if s.Runs < 0 {
+		return fmt.Errorf("scenario: seeds.runs = %d", s.Runs)
+	}
+	if len(s.List) > 0 {
+		if s.Base != 0 || s.Runs != 0 || s.Stride != 0 {
+			return fmt.Errorf("scenario: seeds.list and seeds.base/runs/stride are exclusive schedule forms; state one")
+		}
+		seen := make(map[uint64]int, len(s.List))
+		for i, v := range s.List {
+			if j, dup := seen[v]; dup {
+				return fmt.Errorf("scenario: seeds.list[%d] and seeds.list[%d] are both %d; duplicate seeds double-bill identical runs and defeat content-addressed result caching", j, i, v)
+			}
+			seen[v] = i
+		}
+		return nil
+	}
+	// A derived schedule with an explicit stride must stay inside uint64:
+	// Base + i·Stride silently wrapping collides seeds (an even stride can
+	// revisit earlier values exactly), which duplicates runs, skews campaign
+	// statistics and breaks hash(spec, seed) result keying. The default
+	// schedule (stride 0 → campaign.SeedStride) is exempt by design: it is
+	// modular golden-ratio stepping, and an odd stride makes i·Stride mod
+	// 2^64 injective, so its wrapped seeds never collide.
+	if s.Stride != 0 && s.Runs > 1 {
+		maxI := uint64(s.Runs - 1)
+		if maxI > math.MaxUint64/s.Stride {
+			return fmt.Errorf("scenario: seeds schedule overflows uint64: %d runs at stride %d", s.Runs, s.Stride)
+		}
+		if span := maxI * s.Stride; s.Base > math.MaxUint64-span {
+			return fmt.Errorf("scenario: seeds schedule overflows uint64: base %d + %d·stride %d wraps", s.Base, maxI, s.Stride)
+		}
+	}
+	return nil
+}
+
+// Expand materialises the schedule. It assumes a Validate-clean schedule;
+// on an invalid one the wrapping the validator rejects would happen here.
 func (s Seeds) Expand() []uint64 {
 	if len(s.List) > 0 {
 		return append([]uint64(nil), s.List...)
@@ -557,11 +600,8 @@ func (s Spec) Validate() error {
 		}
 	}
 
-	if s.Seeds.Runs < 0 {
-		return fmt.Errorf("scenario: seeds.runs = %d", s.Seeds.Runs)
-	}
-	if len(s.Seeds.List) > 0 && (s.Seeds.Base != 0 || s.Seeds.Runs != 0 || s.Seeds.Stride != 0) {
-		return fmt.Errorf("scenario: seeds.list excludes base/runs/stride")
+	if err := s.Seeds.Validate(); err != nil {
+		return err
 	}
 
 	if s.Platform != nil {

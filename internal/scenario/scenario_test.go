@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -69,8 +70,13 @@ func TestValidateRejections(t *testing.T) {
 			s.Workloads[0].Core = 1
 			s.Credit = &Credit{Kind: "hcba-weights", Privileged: intp(0)}
 		}, "not expressible"},
-		{"seeds list plus base", func(s *Spec) { s.Seeds = Seeds{Base: 1, List: []uint64{2}} }, "excludes"},
+		{"seeds list plus base", func(s *Spec) { s.Seeds = Seeds{Base: 1, List: []uint64{2}} }, "exclusive"},
+		{"seeds list plus runs", func(s *Spec) { s.Seeds = Seeds{Runs: 2, List: []uint64{2}} }, "exclusive"},
+		{"seeds list plus stride", func(s *Spec) { s.Seeds = Seeds{Stride: 3, List: []uint64{2}} }, "exclusive"},
 		{"negative seeds runs", func(s *Spec) { s.Seeds = Seeds{Runs: -1} }, "seeds.runs"},
+		{"duplicate list seeds", func(s *Spec) { s.Seeds = Seeds{List: []uint64{7, 3, 7}} }, "duplicate seeds"},
+		{"seed schedule wraps", func(s *Spec) { s.Seeds = Seeds{Base: math.MaxUint64 - 5, Runs: 3, Stride: 3} }, "overflows"},
+		{"seed stride product wraps", func(s *Spec) { s.Seeds = Seeds{Runs: 3, Stride: math.MaxUint64} }, "overflows"},
 		{"negative platform", func(s *Spec) { s.Platform = &Platform{L1Sets: -4} }, "platform.l1_sets"},
 		{"invalid cache geometry", func(s *Spec) { s.Platform = &Platform{L1Sets: 3} }, "L1"},
 	}
@@ -162,6 +168,51 @@ func TestSeedsExpand(t *testing.T) {
 	// Zero value: one run at seed 0.
 	if got := (Seeds{}).Expand(); !reflect.DeepEqual(got, []uint64{0}) {
 		t.Fatalf("zero: %v", got)
+	}
+}
+
+// TestSeedsValidateOverflowBoundary pins the overflow rejection exactly at
+// the uint64 edge: the largest derived seed landing on MaxUint64 is legal,
+// one past it is not. Before the check, Base + i·Stride wrapped silently and
+// an even stride could revisit earlier seeds — duplicate runs that skew
+// campaign statistics and collide content-addressed result keys.
+func TestSeedsValidateOverflowBoundary(t *testing.T) {
+	// Last seed exactly MaxUint64: base + (runs-1)·stride = 2^64-1.
+	ok := Seeds{Base: math.MaxUint64 - 20, Runs: 3, Stride: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("schedule ending exactly at MaxUint64 rejected: %v", err)
+	}
+	if got := ok.Expand(); got[2] != math.MaxUint64 {
+		t.Fatalf("last seed %d, want MaxUint64", got[2])
+	}
+	// One past the edge wraps.
+	bad := Seeds{Base: math.MaxUint64 - 19, Runs: 3, Stride: 10}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("wrapping schedule accepted: %v", err)
+	}
+	// The classic collision shape: an even power-of-two stride returns to
+	// base after two steps — exactly what the validator must refuse.
+	collide := Seeds{Base: 1, Runs: 3, Stride: 1 << 63}
+	if err := collide.Validate(); err == nil {
+		t.Fatal("seed-colliding schedule accepted")
+	}
+	// The default schedule wraps by design (modular golden-ratio stepping,
+	// odd stride, injective): runs big enough to wrap must stay accepted —
+	// the corpus' multiseed scenarios depend on it.
+	def := Seeds{Base: 537, Runs: 6}
+	if err := def.Validate(); err != nil {
+		t.Fatalf("default-stride schedule rejected: %v", err)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range def.Expand() {
+		if seen[s] {
+			t.Fatalf("default schedule collided at seed %d", s)
+		}
+		seen[s] = true
+	}
+	// Duplicate List entries double-bill runs.
+	if err := (Seeds{List: []uint64{5, 5}}).Validate(); err == nil {
+		t.Fatal("duplicate list seeds accepted")
 	}
 }
 

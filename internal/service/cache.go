@@ -1,0 +1,59 @@
+package service
+
+import (
+	"container/list"
+
+	"creditbus/internal/sim"
+)
+
+// resultCache is a bounded LRU over content-addressed run results. Every
+// entry is immutable once stored — a sim.Result is never mutated after the
+// run that produced it — so eviction is purely a capacity decision: a
+// re-miss on an evicted key re-simulates and lands on bit-identical bytes.
+// Not goroutine-safe; the Server serialises access under its own mutex.
+type resultCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res sim.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *resultCache) get(key string) (sim.Result, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// put stores a result, evicting the least recently used entry when full.
+func (c *resultCache) put(key string, res sim.Result) {
+	if e, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int { return c.ll.Len() }

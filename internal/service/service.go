@@ -1,0 +1,344 @@
+// Package service is the simulation-as-a-service core behind cmd/cbad: an
+// HTTP/JSON server that accepts declarative scenario specs (the
+// internal/scenario schema), executes them on a shared pool of per-worker
+// sim.Runners, and returns full results.
+//
+// Determinism is what makes the service scale: every run is a pure function
+// of (compiled config, seed), so hash(spec, seed) is a perfect content
+// address. The server exploits that twice —
+//
+//   - a bounded LRU result cache keyed by scenario.Spec.CacheKey() (the
+//     semantic hash: labels and the seed schedule excluded) plus the run
+//     seed, so identical submissions never re-simulate;
+//   - single-flight deduplication, so N concurrent identical submissions
+//     share one execution instead of racing N through the pool.
+//
+// Admission control is a bounded job queue (campaign.Pool): when the queue
+// is full a submission is refused with HTTP 429 instead of queueing
+// unboundedly, which keeps tail latency honest under overload.
+//
+// DESIGN.md §11 documents the architecture and the cache-key soundness
+// argument.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"creditbus/internal/campaign"
+	"creditbus/internal/scenario"
+	"creditbus/internal/sim"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultQueue     = 256
+	DefaultCacheSize = 4096
+	// maxSpecBytes bounds a request body; the largest corpus spec is ~2 KiB,
+	// so a mebibyte is generous without letting a client balloon memory.
+	maxSpecBytes = 1 << 20
+)
+
+// Options configures a Server. Zero values pick the defaults.
+type Options struct {
+	// Workers is the simulation worker count — the number of concurrent
+	// sim.Runners. ≤ 0 means campaign.DefaultWorkers (GOMAXPROCS).
+	Workers int
+	// Queue is the admission queue capacity: runs accepted but not yet
+	// executing. A full queue refuses new work with 429. ≤ 0 → DefaultQueue.
+	Queue int
+	// CacheSize is the result cache capacity in entries (one entry is one
+	// (spec, seed) result). ≤ 0 → DefaultCacheSize.
+	CacheSize int
+}
+
+// flight is one in-progress execution other submitters of the same result
+// key wait on. res and err are written exactly once, before done closes.
+type flight struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Server executes scenario runs on a shared worker pool with a
+// content-addressed result cache. Create one with New, serve its Handler,
+// and Close it to drain the pool.
+type Server struct {
+	pool      *campaign.Pool[*sim.Runner]
+	queueCap  int
+	cacheCap  int
+	mu        sync.Mutex // guards cache and flights
+	cache     *resultCache
+	flights   map[string]*flight
+	execGate  func() // test hook: runs in the worker before each execution
+	requests  atomic.Int64
+	bad       atomic.Int64
+	rejected  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	execs     atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Queue <= 0 {
+		opts.Queue = DefaultQueue
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	pool, err := campaign.NewPool(opts.Workers, opts.Queue, func() *sim.Runner { return &sim.Runner{} })
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return &Server{
+		pool:     pool,
+		queueCap: opts.Queue,
+		cacheCap: opts.CacheSize,
+		cache:    newResultCache(opts.CacheSize),
+		flights:  map[string]*flight{},
+	}, nil
+}
+
+// Close stops intake and waits for in-flight runs to drain.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the server's HTTP routes:
+//
+//	POST /v1/run    — submit a scenario spec, receive per-seed results
+//	GET  /v1/stats  — cache/queue/execution counters
+//	GET  /v1/healthz — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// RunResult is one seed's outcome inside a RunResponse.
+type RunResult struct {
+	Seed uint64 `json:"seed"`
+	// Cached reports a cache hit: the result was served without simulating
+	// or waiting on an in-flight execution. Coalesced joins (this request
+	// waited on another submission's execution) report false, like the
+	// submission that ran it.
+	Cached bool `json:"cached"`
+	// Result is the full run result in its canonical snapshot form — the
+	// same bytes a golden corpus file pins for this (spec, seed).
+	Result scenario.ResultSnapshot `json:"result"`
+}
+
+// RunResponse is the POST /v1/run reply: the submitted scenario's semantic
+// cache key and one result per seed of its schedule, in schedule order.
+type RunResponse struct {
+	Scenario string      `json:"scenario"`
+	Key      string      `json:"key"`
+	Runs     []RunResult `json:"runs"`
+}
+
+// Stats is the GET /v1/stats reply.
+type Stats struct {
+	Workers       int   `json:"workers"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheCapacity int   `json:"cache_capacity"`
+	InFlight      int   `json:"in_flight"`
+	Requests      int64 `json:"requests"`
+	BadRequests   int64 `json:"bad_requests"`
+	Rejected      int64 `json:"rejected"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Executions    int64 `json:"executions"`
+}
+
+// Snapshot returns the current counters — the same numbers /v1/stats serves.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	inFlight := len(s.flights)
+	s.mu.Unlock()
+	return Stats{
+		Workers:       s.pool.Workers(),
+		QueueDepth:    s.pool.QueueDepth(),
+		QueueCapacity: s.queueCap,
+		CacheEntries:  entries,
+		CacheCapacity: s.cacheCap,
+		InFlight:      inFlight,
+		Requests:      s.requests.Load(),
+		BadRequests:   s.bad.Load(),
+		Rejected:      s.rejected.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Executions:    s.execs.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		s.bad.Add(1)
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		s.bad.Add(1)
+		http.Error(w, fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes), http.StatusBadRequest)
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		s.bad.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Compile validates; a spec that loads but breaks a schema rule (seed
+	// overflow, duplicate seeds, bad geometry, ...) is the client's error.
+	compiled, err := spec.Compile()
+	if err != nil {
+		s.bad.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// Fan the whole schedule out first — the pool runs seeds of one request
+	// concurrently — then collect in schedule order. An admission refusal
+	// anywhere fails the request with 429, but runs already admitted keep
+	// executing and land in the cache, so the retry is cheaper.
+	type pending struct {
+		seed   uint64
+		res    sim.Result
+		cached bool
+		f      *flight
+	}
+	runs := make([]pending, 0, len(compiled.Seeds))
+	for _, seed := range compiled.Seeds {
+		p := pending{seed: seed}
+		var err error
+		p.res, p.cached, p.f, err = s.startRun(compiled, key, seed)
+		if err != nil {
+			s.rejected.Add(1)
+			http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		runs = append(runs, p)
+	}
+	resp := RunResponse{Scenario: spec.Name, Key: key, Runs: make([]RunResult, 0, len(runs))}
+	for i := range runs {
+		p := &runs[i]
+		if p.f != nil {
+			select {
+			case <-p.f.done:
+			case <-r.Context().Done():
+				return // client gone; nothing useful to write
+			}
+			p.res = p.f.res
+			if err := p.f.err; err != nil {
+				if errors.Is(err, campaign.ErrQueueFull) {
+					// A joined flight whose submitter was refused admission.
+					s.rejected.Add(1)
+					http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+					return
+				}
+				// A simulation error on a validated spec (e.g. the cycle
+				// limit guard) is the submission's fault, not the server's.
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+		}
+		resp.Runs = append(resp.Runs, RunResult{Seed: p.seed, Cached: p.cached, Result: scenario.Snap(p.res)})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startRun resolves one (spec, seed) run without blocking on execution: a
+// cache hit returns the result directly (cached true, nil flight); otherwise
+// the caller receives a flight to await — its own fresh execution admitted
+// through the bounded pool, or a join of an identical run already in
+// flight (single-flight deduplication). A non-nil error is an admission
+// refusal (campaign.ErrQueueFull).
+func (s *Server) startRun(c *scenario.Compiled, key string, seed uint64) (sim.Result, bool, *flight, error) {
+	rk := fmt.Sprintf("%s/%d", key, seed)
+
+	s.mu.Lock()
+	if res, ok := s.cache.get(rk); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return res, true, nil, nil
+	}
+	if f, ok := s.flights[rk]; ok {
+		// Someone is already simulating this exact run: join their flight.
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		return sim.Result{}, false, f, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[rk] = f
+	s.mu.Unlock()
+	s.misses.Add(1)
+
+	err := s.pool.TrySubmit(func(rn *sim.Runner) {
+		if s.execGate != nil {
+			s.execGate()
+		}
+		s.execs.Add(1)
+		f.res, f.err = c.RunSeedRunner(rn, seed)
+		s.mu.Lock()
+		if f.err == nil {
+			s.cache.put(rk, f.res)
+		}
+		delete(s.flights, rk)
+		s.mu.Unlock()
+		close(f.done)
+	})
+	if err != nil {
+		// Admission refused. Joiners that latched onto this flight between
+		// the map insert and now must see the refusal too, so publish it
+		// through the flight before retiring it.
+		f.err = err
+		s.mu.Lock()
+		delete(s.flights, rk)
+		s.mu.Unlock()
+		close(f.done)
+		return sim.Result{}, false, nil, err
+	}
+	return sim.Result{}, false, f, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hanging up mid-write is not a server fault
+}

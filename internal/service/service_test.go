@@ -1,0 +1,343 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"creditbus/internal/scenario"
+)
+
+// testSpec builds a small, fast wcet scenario; wseed varies the workload's
+// own seed, giving distinct semantic cache keys per value.
+func testSpec(name string, wseed uint64, seeds ...uint64) scenario.Spec {
+	if len(seeds) == 0 {
+		seeds = []uint64{3}
+	}
+	return scenario.Spec{
+		Name: name,
+		Run:  scenario.RunWCET,
+		Workloads: []scenario.Workload{
+			{Core: 0, Name: "matrix", Seed: wseed, Ops: 200},
+		},
+		Seeds: scenario.Seeds{List: seeds},
+	}
+}
+
+// startServer boots a Server over httptest with cleanup registered.
+func startServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+// post submits a spec and returns status plus decoded response (on 200).
+func post(t *testing.T, url string, sp scenario.Spec) (int, RunResponse, string) {
+	t.Helper()
+	data, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatalf("bad response body: %v\n%s", err, body)
+		}
+	}
+	return resp.StatusCode, rr, string(body)
+}
+
+// TestMissThenHit: the first submission simulates, an identical resubmission
+// is served from the cache with an identical result — even when the respelled
+// spec has a different name, description and seed-schedule form.
+func TestMissThenHit(t *testing.T) {
+	srv, hs := startServer(t, Options{Workers: 2})
+
+	sp := testSpec("first", 1, 5, 7)
+	code, first, body := post(t, hs.URL, sp)
+	if code != http.StatusOK {
+		t.Fatalf("first submission: %d\n%s", code, body)
+	}
+	if len(first.Runs) != 2 || first.Runs[0].Cached || first.Runs[1].Cached {
+		t.Fatalf("first submission should miss: %+v", first.Runs)
+	}
+	if got := srv.Snapshot(); got.Executions != 2 || got.Misses != 2 || got.Hits != 0 {
+		t.Fatalf("after miss: %+v", got)
+	}
+
+	// Identical semantics, different labels and schedule spelling.
+	re := testSpec("renamed", 1, 5, 7)
+	re.Description = "same platform, new words"
+	code, second, body := post(t, hs.URL, re)
+	if code != http.StatusOK {
+		t.Fatalf("resubmission: %d\n%s", code, body)
+	}
+	if second.Key != first.Key {
+		t.Fatal("semantically identical specs got different cache keys")
+	}
+	for i, r := range second.Runs {
+		if !r.Cached {
+			t.Fatalf("run %d of resubmission missed the cache", i)
+		}
+		if !reflect.DeepEqual(r.Result, first.Runs[i].Result) {
+			t.Fatalf("run %d: cached result differs from first execution", i)
+		}
+	}
+	if got := srv.Snapshot(); got.Executions != 2 || got.Hits != 2 {
+		t.Fatalf("after hit: %+v", got)
+	}
+}
+
+// TestSingleFlight: N concurrent identical submissions execute the
+// simulator exactly once; everyone receives the same result.
+func TestSingleFlight(t *testing.T) {
+	const clients = 16
+	srv, hs := startServer(t, Options{Workers: 4, Queue: 64})
+	release := make(chan struct{})
+	srv.execGate = func() { <-release }
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		codes  []int
+		bodies []RunResponse
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, rr, _ := post(t, hs.URL, testSpec("burst", 2))
+			mu.Lock()
+			codes = append(codes, code)
+			bodies = append(bodies, rr)
+			mu.Unlock()
+		}()
+	}
+	// Hold the execution until every client has either opened the flight or
+	// joined it, so all N demonstrably overlap one execution.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Snapshot()
+		if st.Misses+st.Coalesced >= clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never converged on the flight: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	st := srv.Snapshot()
+	if st.Executions != 1 {
+		t.Fatalf("%d concurrent identical submissions ran the simulator %d times, want exactly 1", clients, st.Executions)
+	}
+	if st.Misses != 1 || st.Coalesced != clients-1 {
+		t.Fatalf("miss/coalesce split: %+v", st)
+	}
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, code)
+		}
+		if !reflect.DeepEqual(bodies[i].Runs, bodies[0].Runs) {
+			t.Fatalf("client %d received a different result", i)
+		}
+	}
+}
+
+// TestBitIdenticalToDirectRun: the service's result payload is byte-identical
+// to a direct library run of the same spec — same canonical snapshot bytes.
+func TestBitIdenticalToDirectRun(t *testing.T) {
+	_, hs := startServer(t, Options{Workers: 2})
+	sp := testSpec("direct", 3, 11, 12)
+	code, got, body := post(t, hs.URL, sp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d\n%s", code, body)
+	}
+
+	compiled, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range compiled.Seeds {
+		direct, err := compiled.RunSeed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(scenario.Snap(direct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := json.Marshal(got.Runs[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, have) {
+			t.Fatalf("seed %d: service bytes differ from direct run\nservice: %s\ndirect:  %s", seed, have, want)
+		}
+	}
+}
+
+// TestInvalidSpec400: malformed JSON, schema violations and semantic
+// validation failures are all client errors.
+func TestInvalidSpec400(t *testing.T) {
+	srv, hs := startServer(t, Options{Workers: 1})
+	bad := []string{
+		`{not json`,
+		`{"name":"x","run":"wcet","typo_field":1}`,
+		// Validation failures: no workloads; duplicate seeds; overflowing
+		// explicit seed schedule.
+		`{"name":"x","run":"wcet","workloads":[]}`,
+		`{"name":"x","run":"wcet","workloads":[{"core":0,"workload":"matrix","ops":200}],"seeds":{"list":[5,5]}}`,
+		`{"name":"x","run":"wcet","workloads":[{"core":0,"workload":"matrix","ops":200}],"seeds":{"base":18446744073709551615,"runs":2,"stride":1}}`,
+	}
+	for i, b := range bad {
+		resp, err := http.Post(hs.URL+"/v1/run", "application/json", bytes.NewReader([]byte(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad spec %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if st := srv.Snapshot(); st.BadRequests != int64(len(bad)) || st.Executions != 0 {
+		t.Fatalf("bad requests must not simulate: %+v", st)
+	}
+	// Wrong methods.
+	if resp, err := http.Get(hs.URL + "/v1/run"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/run: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestQueueOverflow429: with one wedged worker and a single queue slot, the
+// third distinct submission is refused with 429 — admission control instead
+// of unbounded queueing. Runs admitted before the refusal still complete.
+func TestQueueOverflow429(t *testing.T) {
+	srv, hs := startServer(t, Options{Workers: 1, Queue: 1})
+	release := make(chan struct{})
+	srv.execGate = func() { <-release }
+
+	type outcome struct {
+		code int
+		rr   RunResponse
+	}
+	results := make(chan outcome, 2)
+	for i := uint64(0); i < 2; i++ {
+		i := i
+		go func() {
+			code, rr, _ := post(t, hs.URL, testSpec(fmt.Sprintf("w%d", i), 10+i))
+			results <- outcome{code, rr}
+		}()
+	}
+	// Wait until one run occupies the worker and one sits in the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Snapshot().Misses < 2 || srv.pool.QueueDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %+v", srv.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, _, body := post(t, hs.URL, testSpec("overflow", 99))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated pool accepted a run: %d\n%s", code, body)
+	}
+	if st := srv.Snapshot(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.code != http.StatusOK {
+			t.Fatalf("admitted run failed: %d", o.code)
+		}
+	}
+}
+
+// TestStatsAndHealth: the observability endpoints serve and count.
+func TestStatsAndHealth(t *testing.T) {
+	_, hs := startServer(t, Options{Workers: 1, Queue: 7, CacheSize: 9})
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 || st.QueueCapacity != 7 || st.CacheCapacity != 9 {
+		t.Fatalf("stats: %+v", st)
+	}
+	h, err := http.Get(hs.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", h.StatusCode)
+	}
+}
+
+// TestCacheEviction: the LRU bound holds and an evicted entry re-simulates
+// to an identical result.
+func TestCacheEviction(t *testing.T) {
+	srv, hs := startServer(t, Options{Workers: 2, CacheSize: 2})
+	var firstBody RunResponse
+	for i := uint64(0); i < 3; i++ {
+		sp := testSpec(fmt.Sprintf("e%d", i), 20+i)
+		code, rr, body := post(t, hs.URL, sp)
+		if code != http.StatusOK {
+			t.Fatalf("spec %d: %d\n%s", i, code, body)
+		}
+		if i == 0 {
+			firstBody = rr
+		}
+	}
+	if st := srv.Snapshot(); st.CacheEntries != 2 {
+		t.Fatalf("cache entries %d, want capacity bound 2", st.CacheEntries)
+	}
+	// Spec 0 was evicted (LRU): resubmission re-simulates, same bytes.
+	code, again, _ := post(t, hs.URL, testSpec("e0-again", 20))
+	if code != http.StatusOK {
+		t.Fatal("resubmission failed")
+	}
+	if again.Runs[0].Cached {
+		t.Fatal("evicted entry reported as cached")
+	}
+	if !reflect.DeepEqual(again.Runs[0].Result, firstBody.Runs[0].Result) {
+		t.Fatal("re-simulated result differs from the evicted one")
+	}
+}
