@@ -7,15 +7,29 @@
 // A bounded admission queue refuses overload with 429 instead of letting
 // latency grow without bound. DESIGN.md §11 documents the architecture.
 //
+// Sharded mega-campaigns run through the asynchronous job API: POST a
+// campaign spec (internal/shard.CampaignSpec) to /v1/jobs and poll the
+// returned id. Jobs execute chunk by chunk on the same worker pool,
+// checkpoint after every chunk under -jobs-dir, and survive a daemon
+// restart: on startup cbad rescans the job store and resumes every
+// incomplete job from its last checkpoint. Errors on every endpoint are a
+// typed JSON envelope {"code","message","detail"}. DESIGN.md §12
+// documents the job API and the checkpoint format.
+//
 // Usage:
 //
-//	cbad -addr 127.0.0.1:8437 -workers 8 -queue 256 -cache-size 4096
+//	cbad -addr 127.0.0.1:8437 -workers 8 -queue 256 -cache-size 4096 \
+//	     -jobs-dir cbad-jobs
 //
 // Endpoints:
 //
-//	POST /v1/run     — submit a scenario spec, receive per-seed results
-//	GET  /v1/stats   — hits, misses, executions, queue depth, in-flight
-//	GET  /v1/healthz — liveness
+//	POST   /v1/run       — submit a scenario spec, receive per-seed results
+//	POST   /v1/jobs      — submit a campaign spec as an asynchronous job
+//	GET    /v1/jobs      — list jobs
+//	GET    /v1/jobs/{id} — job status, progress, partial aggregates, report
+//	DELETE /v1/jobs/{id} — cancel a job and delete its checkpoints
+//	GET    /v1/stats     — hits, misses, executions, queue depth, jobs
+//	GET    /v1/healthz   — liveness
 //
 // cmd/cbaload is the matching load-generator client.
 package main
@@ -51,6 +65,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		workers   = fs.Int("workers", 0, "simulation workers (0 = one per CPU)")
 		queue     = fs.Int("queue", service.DefaultQueue, "admission queue capacity (full queue => 429)")
 		cacheSize = fs.Int("cache-size", service.DefaultCacheSize, "result cache capacity in (spec, seed) entries")
+		jobsDir   = fs.String("jobs-dir", "cbad-jobs", "campaign job store directory (empty disables /v1/jobs)")
+		jobEvery  = fs.Int64("job-checkpoint-every", 0, "job checkpoint interval in units (0 = default)")
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +76,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	srv, err := service.New(service.Options{Workers: *workers, Queue: *queue, CacheSize: *cacheSize})
+	srv, err := service.New(service.Options{
+		Workers: *workers, Queue: *queue, CacheSize: *cacheSize,
+		JobsDir: *jobsDir, JobCheckpointEvery: *jobEvery,
+	})
 	if err != nil {
 		return err
 	}

@@ -46,19 +46,23 @@ func main() {
 
 // summary is the machine-readable load report (-json).
 type summary struct {
-	Requests    int           `json:"requests"`
-	OK          int           `json:"ok"`
-	Throttled   int           `json:"throttled"`
-	Errors      int           `json:"errors"`
-	DistinctRun int           `json:"distinct_specs"`
-	Duration    float64       `json:"duration_sec"`
-	Throughput  float64       `json:"requests_per_sec"`
-	P50Ms       float64       `json:"latency_p50_ms"`
-	P99Ms       float64       `json:"latency_p99_ms"`
-	MaxMs       float64       `json:"latency_max_ms"`
-	Verified    int           `json:"verified_specs"`
-	HitRate     float64       `json:"hit_rate"`
-	Server      service.Stats `json:"server_stats"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Throttled   int     `json:"throttled"`
+	Errors      int     `json:"errors"`
+	DistinctRun int     `json:"distinct_specs"`
+	Duration    float64 `json:"duration_sec"`
+	Throughput  float64 `json:"requests_per_sec"`
+	P50Ms       float64 `json:"latency_p50_ms"`
+	P99Ms       float64 `json:"latency_p99_ms"`
+	MaxMs       float64 `json:"latency_max_ms"`
+	Verified    int     `json:"verified_specs"`
+	HitRate     float64 `json:"hit_rate"`
+	// ErrorCodes tallies the typed error-envelope codes of every non-200
+	// response (e.g. "queue_full" for throttles); "" counts responses
+	// without a parseable envelope.
+	ErrorCodes map[string]int `json:"error_codes,omitempty"`
+	Server     service.Stats  `json:"server_stats"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -95,13 +99,14 @@ func run(args []string, stdout io.Writer) error {
 
 	client := &http.Client{Timeout: *timeout}
 	var (
-		mu        sync.Mutex
-		latencies []float64 // milliseconds
-		okCount   int
-		throttled int
-		errCount  int
-		firstErr  error
-		captured  = make([]*service.RunResponse, len(specs))
+		mu         sync.Mutex
+		latencies  []float64 // milliseconds
+		okCount    int
+		throttled  int
+		errCount   int
+		firstErr   error
+		errorCodes = map[string]int{}
+		captured   = make([]*service.RunResponse, len(specs))
 	)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -112,7 +117,7 @@ func run(args []string, stdout io.Writer) error {
 			defer wg.Done()
 			for i := range jobs {
 				si := i % len(specs)
-				rr, code, d, err := submit(client, *addr, specs[si])
+				rr, code, apiErr, d, err := submit(client, *addr, specs[si])
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -122,10 +127,16 @@ func run(args []string, stdout io.Writer) error {
 					}
 				case code == http.StatusTooManyRequests:
 					throttled++
+					errorCodes[apiErrCode(apiErr)]++
 				case code != http.StatusOK:
 					errCount++
+					errorCodes[apiErrCode(apiErr)]++
 					if firstErr == nil {
-						firstErr = fmt.Errorf("request %d: status %d", i, code)
+						if apiErr != nil {
+							firstErr = fmt.Errorf("request %d: status %d code %s: %s", i, code, apiErr.Code, apiErr.Message)
+						} else {
+							firstErr = fmt.Errorf("request %d: status %d", i, code)
+						}
 					}
 				default:
 					okCount++
@@ -168,6 +179,9 @@ func run(args []string, stdout io.Writer) error {
 		Verified:    verified,
 		Server:      stats,
 	}
+	if len(errorCodes) > 0 {
+		sum.ErrorCodes = errorCodes
+	}
 	sum.P50Ms, sum.P99Ms, sum.MaxMs = percentiles(latencies)
 	if lookups := stats.Hits + stats.Misses; lookups > 0 {
 		sum.HitRate = float64(stats.Hits) / float64(lookups)
@@ -185,6 +199,22 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "cbaload: latency p50 %.2fms p99 %.2fms max %.2fms\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
 		fmt.Fprintf(stdout, "cbaload: server hits=%d misses=%d coalesced=%d executions=%d hit-rate %.1f%%\n",
 			stats.Hits, stats.Misses, stats.Coalesced, stats.Executions, 100*sum.HitRate)
+		if len(sum.ErrorCodes) > 0 {
+			codes := make([]string, 0, len(sum.ErrorCodes))
+			for c := range sum.ErrorCodes {
+				codes = append(codes, c)
+			}
+			sort.Strings(codes)
+			parts := make([]string, 0, len(codes))
+			for _, c := range codes {
+				name := c
+				if name == "" {
+					name = "(no envelope)"
+				}
+				parts = append(parts, fmt.Sprintf("%s=%d", name, sum.ErrorCodes[c]))
+			}
+			fmt.Fprintf(stdout, "cbaload: error codes: %s\n", strings.Join(parts, " "))
+		}
 		if *verify {
 			fmt.Fprintf(stdout, "cbaload: verified %d/%d distinct specs byte-identical to direct library runs\n", verified, len(specs))
 		}
@@ -244,31 +274,46 @@ func buildSpecs(profiles []string, distinct, cores, seeds, ops int) ([]scenario.
 	return specs, nil
 }
 
-// submit POSTs one spec and decodes the response on 200.
-func submit(client *http.Client, addr string, sp scenario.Spec) (*service.RunResponse, int, time.Duration, error) {
+// submit POSTs one spec: on 200 it decodes the run response, on any other
+// status it decodes the typed error envelope (nil when the body is not a
+// parseable envelope).
+func submit(client *http.Client, addr string, sp scenario.Spec) (*service.RunResponse, int, *service.APIError, time.Duration, error) {
 	data, err := sp.Encode()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, nil, 0, err
 	}
 	start := time.Now()
 	resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(data))
 	if err != nil {
-		return nil, 0, time.Since(start), err
+		return nil, 0, nil, time.Since(start), err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	d := time.Since(start)
 	if err != nil {
-		return nil, resp.StatusCode, d, err
+		return nil, resp.StatusCode, nil, d, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, resp.StatusCode, d, nil
+		var ae service.APIError
+		if err := json.Unmarshal(body, &ae); err != nil || ae.Code == "" {
+			return nil, resp.StatusCode, nil, d, nil
+		}
+		return nil, resp.StatusCode, &ae, d, nil
 	}
 	var rr service.RunResponse
 	if err := json.Unmarshal(body, &rr); err != nil {
-		return nil, resp.StatusCode, d, fmt.Errorf("decode response: %w", err)
+		return nil, resp.StatusCode, nil, d, fmt.Errorf("decode response: %w", err)
 	}
-	return &rr, resp.StatusCode, d, nil
+	return &rr, resp.StatusCode, nil, d, nil
+}
+
+// apiErrCode maps a decoded envelope to its tally key ("" when the
+// response carried no parseable envelope).
+func apiErrCode(ae *service.APIError) string {
+	if ae == nil {
+		return ""
+	}
+	return ae.Code
 }
 
 // verifyResponses proves the daemon changed nothing: each captured

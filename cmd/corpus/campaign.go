@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"creditbus/internal/shard"
+)
+
+// campaignFlags are the sharded-campaign mode options (active when
+// -campaign names a spec file).
+type campaignFlags struct {
+	file      string
+	shards    int
+	shardIdx  int
+	ckptDir   string
+	ckptEvery int64
+	maxUnits  int64
+	merge     bool
+	reference bool
+	report    string
+	parallel  int
+}
+
+func registerCampaignFlags(fs *flag.FlagSet, cf *campaignFlags) {
+	fs.StringVar(&cf.file, "campaign", "", "campaign spec file: switch to sharded-campaign mode (internal/shard schema)")
+	fs.IntVar(&cf.shards, "shards", 0, "override the campaign's shard count (0 = the spec's own)")
+	fs.IntVar(&cf.shardIdx, "shard", -1, "worker mode: execute this shard index and checkpoint it under -checkpoint")
+	fs.StringVar(&cf.ckptDir, "checkpoint", "", "checkpoint store directory (required for -shard and -merge)")
+	fs.Int64Var(&cf.ckptEvery, "checkpoint-every", 0, "units between checkpoints (0 = default)")
+	fs.Int64Var(&cf.maxUnits, "max-units", 0, "stop the shard after this many units this invocation (0 = run to completion)")
+	fs.BoolVar(&cf.merge, "merge", false, "coordinator mode: merge every shard checkpoint and emit the campaign report")
+	fs.BoolVar(&cf.reference, "reference", false, "run the whole campaign in-process without checkpoints and emit the report (the byte-identity reference)")
+	fs.StringVar(&cf.report, "report", "-", "report destination for -merge/-reference (\"-\" = stdout)")
+}
+
+// runCampaign is corpus's sharded-campaign mode: one invocation is either a
+// shard worker (-shard i), the merge coordinator (-merge), or the
+// single-process reference (-reference). Workers and coordinator share a
+// checkpoint store, so the three byte-identity legs — K-way sharding,
+// kill-and-resume, reference — all flow through this entry point.
+func runCampaign(cf campaignFlags, stdout io.Writer) error {
+	data, err := os.ReadFile(cf.file)
+	if err != nil {
+		return err
+	}
+	spec, err := shard.ParseCampaign(data)
+	if err != nil {
+		return err
+	}
+	if cf.shards > 0 {
+		spec.Shards = cf.shards
+	}
+	camp, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+
+	modes := 0
+	for _, on := range []bool{cf.shardIdx >= 0, cf.merge, cf.reference} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("campaign mode needs exactly one of -shard, -merge or -reference")
+	}
+
+	switch {
+	case cf.reference:
+		rep, err := shard.Reference(camp, cf.parallel)
+		if err != nil {
+			return err
+		}
+		return emitReport(rep, cf.report, stdout)
+
+	case cf.merge:
+		st, err := openStore(cf, camp)
+		if err != nil {
+			return err
+		}
+		rep, err := shard.MergeStore(camp, st)
+		if err != nil {
+			return err
+		}
+		return emitReport(rep, cf.report, stdout)
+
+	default:
+		st, err := openStore(cf, camp)
+		if err != nil {
+			return err
+		}
+		r := &shard.Runner{
+			Campaign:        camp,
+			Store:           st,
+			Workers:         cf.parallel,
+			CheckpointEvery: cf.ckptEvery,
+			MaxUnits:        cf.maxUnits,
+			Progress: func(done, total int64) {
+				fmt.Fprintf(stdout, "shard %d/%d: %d/%d units\n", cf.shardIdx, camp.Plan.Shards, done, total)
+			},
+		}
+		agg, complete, err := r.RunShard(cf.shardIdx)
+		if err != nil {
+			return err
+		}
+		if !complete {
+			fmt.Fprintf(stdout, "shard %d/%d: stopped at %d units (budget spent); re-run to resume\n",
+				cf.shardIdx, camp.Plan.Shards, agg.N)
+			return nil
+		}
+		fmt.Fprintf(stdout, "shard %d/%d: complete (%d units, campaign %.12s)\n",
+			cf.shardIdx, camp.Plan.Shards, agg.N, camp.Digest())
+		return nil
+	}
+}
+
+func openStore(cf campaignFlags, camp *shard.Campaign) (*shard.Store, error) {
+	if cf.ckptDir == "" {
+		return nil, fmt.Errorf("-checkpoint is required with -shard/-merge")
+	}
+	return shard.Open(cf.ckptDir, camp.Manifest())
+}
+
+// emitReport writes the canonical report bytes to dest ("-" = stdout).
+func emitReport(rep shard.Report, dest string, stdout io.Writer) error {
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if dest == "-" || dest == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(dest, data, 0o644)
+}

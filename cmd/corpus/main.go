@@ -11,6 +11,19 @@
 //	corpus -engines both     # run fast AND per-cycle, assert equality
 //	corpus -run hcba         # only scenarios whose name contains "hcba"
 //
+// With -campaign the command switches to sharded-campaign mode over a
+// campaign spec file (internal/shard): each invocation is a shard worker,
+// the merge coordinator, or the single-process reference, and workers
+// checkpoint into a shared store so a killed worker resumes from its last
+// complete chunk:
+//
+//	corpus -campaign sweep.json -shards 4 -shard 2 -checkpoint ck/
+//	corpus -campaign sweep.json -shards 4 -merge -checkpoint ck/ -report out.json
+//	corpus -campaign sweep.json -reference -report ref.json
+//
+// The merged report is byte-identical for any shard count and any
+// kill/resume history, and equal to the -reference output.
+//
 // Exit status is non-zero on any load, run, equivalence or verification
 // failure, which is what makes it a CI gate.
 package main
@@ -60,11 +73,17 @@ func run(args []string, stdout io.Writer) error {
 		filter   = fs.String("run", "", "only scenarios whose name contains this substring")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight across the whole corpus")
 	)
+	var cf campaignFlags
+	registerCampaignFlags(fs, &cf)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if cf.file != "" {
+		cf.parallel = *parallel
+		return runCampaign(cf, stdout)
 	}
 	switch *engines {
 	case "spec", "fast", "per-cycle", "both":
@@ -110,13 +129,14 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	results, err := campaign.Run(len(jobs), *parallel, nil, func(i int) (sim.Result, error) {
-		j := jobs[i]
-		if j.engineOverride {
-			return j.spec.RunSeedEngine(j.seed, j.perCycle)
-		}
-		return j.spec.RunSeed(j.seed)
-	})
+	results, err := campaign.Do(campaign.Options[struct{}]{Workers: *parallel},
+		len(jobs), func(_ struct{}, i int) (sim.Result, error) {
+			j := jobs[i]
+			if j.engineOverride {
+				return j.spec.RunSeedEngine(j.seed, j.perCycle)
+			}
+			return j.spec.RunSeed(j.seed)
+		})
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,12 @@
 //	scenfuzz -n 1000 -seed 1              # 1000 scenarios, deterministic
 //	scenfuzz -n 500 -workers 4            # CI smoke
 //	scenfuzz -n 100 -minimize -out repros # shrink failures to repro specs
+//	scenfuzz -n 10000 -shards 4 -shard 2  # worker 2 of a 4-way fleet
+//
+// With -shards K the scenario index space is range-partitioned by the same
+// deterministic plan as sharded campaigns (internal/shard): worker i checks
+// exactly [n·i/K, n·(i+1)/K), so a K-process fleet covers every index once
+// and the union of the fleet's findings equals a single -n run's.
 //
 // Output is byte-reproducible for a fixed -n/-seed at any worker count:
 // generation is serial, checking fans out over the campaign pool with
@@ -34,6 +40,7 @@ import (
 	"creditbus/internal/campaign"
 	"creditbus/internal/scenario"
 	"creditbus/internal/scengen"
+	"creditbus/internal/shard"
 )
 
 func main() {
@@ -52,6 +59,8 @@ func run(args []string, stdout io.Writer) error {
 		minimize = fs.Bool("minimize", false, "shrink each failing scenario and write a repro spec under -out")
 		outDir   = fs.String("out", "scenfuzz-repros", "directory for minimized repro specs (-minimize)")
 		inject   = fs.String("inject", "", "inject a synthetic violation into scenarios whose name contains this substring (exercises the failure and minimization paths)")
+		shards   = fs.Int("shards", 1, "total fleet size: partition the scenario index space this many ways")
+		shardIdx = fs.Int("shard", 0, "this worker's shard index in [0, shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,14 +71,25 @@ func run(args []string, stdout io.Writer) error {
 	if *n < 1 {
 		return fmt.Errorf("-n %d: need at least one scenario", *n)
 	}
-
-	// Generation is serial and cheap; the simulations dominate. Names embed
-	// the generator seed and index, so a repro file names its origin.
-	src := scengen.NewSource(*seed)
-	specs := make([]scenario.Spec, *n)
-	for i := range specs {
-		specs[i] = scengen.Generate(src, fmt.Sprintf("fuzz-s%d-%06d", *seed, i))
+	plan, err := shard.NewPlan(int64(*n), *shards)
+	if err != nil {
+		return err
 	}
+	lo, hi, err := plan.Range(*shardIdx)
+	if err != nil {
+		return err
+	}
+
+	// Generation is serial and cheap; the simulations dominate. The full
+	// prefix is always generated so index i draws identical spec bytes in
+	// every fleet member — only [lo, hi) is checked here. Names embed the
+	// generator seed and index, so a repro file names its origin.
+	src := scengen.NewSource(*seed)
+	all := make([]scenario.Spec, *n)
+	for i := range all {
+		all[i] = scengen.Generate(src, fmt.Sprintf("fuzz-s%d-%06d", *seed, i))
+	}
+	specs := all[lo:hi]
 
 	check := func(sp scenario.Spec) []scengen.Violation {
 		vs, err := scengen.Check(sp)
@@ -82,9 +102,10 @@ func run(args []string, stdout io.Writer) error {
 		return vs
 	}
 
-	results, err := campaign.Run(*n, *workers, nil, func(i int) ([]scengen.Violation, error) {
-		return check(specs[i]), nil
-	})
+	results, err := campaign.Do(campaign.Options[struct{}]{Workers: *workers},
+		len(specs), func(_ struct{}, i int) ([]scengen.Violation, error) {
+			return check(specs[i]), nil
+		})
 	if err != nil {
 		return err
 	}
@@ -122,7 +143,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *shards > 1 {
+		fmt.Fprintf(stdout, "shard %d/%d: indices [%d,%d) of %d\n", *shardIdx, *shards, lo, hi, *n)
+	}
 	fmt.Fprintf(stdout, "%d scenarios, %d seeds, %d violation(s), generator seed %d\n",
-		*n, seeds, fails.Count(), *seed)
+		len(specs), seeds, fails.Count(), *seed)
 	return fails.Err()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,5 +87,45 @@ func TestArgumentErrors(t *testing.T) {
 	}
 	if err := run([]string{"positional"}, &out); err == nil {
 		t.Error("positional args accepted")
+	}
+}
+
+// TestShardedFleetCoversEveryIndex: a -shards K fleet checks exactly the
+// indices a single run checks — each worker its contiguous range, the
+// union tiling [0, n) — and shard membership does not perturb generation
+// (index i draws identical spec bytes in every fleet member).
+func TestShardedFleetCoversEveryIndex(t *testing.T) {
+	const n = 41
+	var covered int
+	for i := 0; i < 4; i++ {
+		var out strings.Builder
+		if err := run([]string{"-n", "41", "-seed", "7", "-workers", "2",
+			"-shards", "4", "-shard", fmt.Sprint(i)}, &out); err != nil {
+			t.Fatalf("shard %d: %v\n%s", i, err, out.String())
+		}
+		got := out.String()
+		if !strings.Contains(got, fmt.Sprintf("shard %d/4", i)) {
+			t.Errorf("shard %d: missing shard banner:\n%s", i, got)
+		}
+		var scen int
+		if _, err := fmt.Sscanf(got[strings.Index(got, ") of ")+len(") of "):], "%d", &scen); err != nil {
+			t.Fatalf("shard %d: cannot parse banner:\n%s", i, got)
+		}
+		if scen != n {
+			t.Errorf("shard %d: banner reports %d total indices, want %d", i, scen, n)
+		}
+		var lo, hi int
+		if _, err := fmt.Sscanf(got[strings.Index(got, "indices ["):], "indices [%d,%d)", &lo, &hi); err != nil {
+			t.Fatalf("shard %d: cannot parse range:\n%s", i, got)
+		}
+		covered += hi - lo
+	}
+	if covered != n {
+		t.Errorf("fleet covers %d of %d indices", covered, n)
+	}
+	// Out-of-range shard index is an argument error.
+	var out strings.Builder
+	if err := run([]string{"-n", "10", "-shards", "2", "-shard", "2"}, &out); err == nil {
+		t.Error("-shard 2 of 2 must fail")
 	}
 }

@@ -35,39 +35,37 @@ type Progress func(done, total int)
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Run executes fn(0), fn(1), ... fn(runs-1) across a pool of workers and
-// returns the results ordered by run index. With workers ≤ 1 the runs
-// execute serially on the calling goroutine, in index order, with no
-// goroutine machinery — so fn may reuse state between runs in that mode.
-// With workers > 1, fn must be safe to call concurrently and runs must not
-// share mutable state; results are still delivered in index order, so the
-// returned slice is identical to the serial one whenever fn is a pure
-// function of its index.
+// returns the results ordered by run index.
 //
-// On failure Run reports the error of the lowest-indexed failed run and
-// stops dispatching new runs. progress may be nil.
+// Deprecated: use Do with Options — Run(runs, w, p, fn) is
+// Do(Options[struct{}]{Workers: w, Progress: p}, runs, …). Kept as a thin
+// wrapper for external callers; in-tree code has migrated.
 func Run[T any](runs, workers int, progress Progress, fn func(run int) (T, error)) ([]T, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("campaign: nil run function")
 	}
-	return RunPooled(runs, workers, progress,
-		func() struct{} { return struct{}{} },
-		func(_ struct{}, run int) (T, error) { return fn(run) })
+	return Do(Options[struct{}]{Workers: workers, Progress: progress},
+		runs, func(_ struct{}, run int) (T, error) { return fn(run) })
 }
 
-// RunPooled is Run with per-worker reusable state — the allocation-free
-// campaign hot path. newState builds one S per worker before its first run
-// (one S in total in serial mode), and fn receives that worker's state with
-// every run it executes, so expensive per-run setup (a sim.Machine, cloned
-// program scratch, buffers) amortises across the worker's whole run slice.
+// RunPooled is Run with per-worker reusable state.
 //
-// Because which worker executes which run is scheduling-dependent, fn must
-// be history-insensitive: fn(state, r) must return the same value whatever
-// sequence of runs the state served before — exactly the guarantee
-// sim.Machine.Reuse provides. The reuse-differential suite enforces it for
-// the simulation scenarios; custom fns owe their own proof. Everything else
-// matches Run: index-ordered results, lowest-indexed error, serialised
-// progress.
+// Deprecated: use Do with Options — RunPooled(runs, w, p, ns, fn) is
+// Do(Options[S]{Workers: w, Progress: p, PerWorkerState: ns}, runs, fn).
+// Kept as a thin wrapper for external callers; in-tree code has migrated.
 func RunPooled[S, T any](runs, workers int, progress Progress, newState func() S, fn func(state S, run int) (T, error)) ([]T, error) {
+	if newState == nil {
+		return nil, fmt.Errorf("campaign: nil state factory")
+	}
+	return Do(Options[S]{Workers: workers, Progress: progress, PerWorkerState: newState}, runs, fn)
+}
+
+// execute is the ordered worker-pool core behind Do: per-worker reusable
+// state from newState, index-ordered result collection, lowest-indexed
+// error, serialised progress. With workers ≤ 1 the runs execute serially on
+// the calling goroutine with a single state value and no goroutine
+// machinery.
+func execute[S, T any](runs, workers int, progress Progress, newState func() S, fn func(state S, run int) (T, error)) ([]T, error) {
 	if runs < 0 {
 		return nil, fmt.Errorf("campaign: runs = %d", runs)
 	}

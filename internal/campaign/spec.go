@@ -49,6 +49,16 @@ type Spec struct {
 	Progress Progress
 }
 
+// runnerOptions is the campaign's execution surface on per-worker reusable
+// machines — the pooled hot path every *Pooled method shares.
+func (s Spec) runnerOptions() Options[*sim.Runner] {
+	return Options[*sim.Runner]{
+		Workers:        s.Workers,
+		Progress:       s.Progress,
+		PerWorkerState: func() *sim.Runner { return new(sim.Runner) },
+	}
+}
+
 func (s Spec) seed(run int) uint64 {
 	if s.Seed != nil {
 		return s.Seed(run)
@@ -72,9 +82,10 @@ func (s Spec) Results(scenario Scenario) ([]sim.Result, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	return Run(s.Runs, s.Workers, s.Progress, func(r int) (sim.Result, error) {
-		return scenario(s.Config, s.Build(r), s.seed(r))
-	})
+	return Do(Options[struct{}]{Workers: s.Workers, Progress: s.Progress},
+		s.Runs, func(_ struct{}, r int) (sim.Result, error) {
+			return scenario(s.Config, s.Build(r), s.seed(r))
+		})
 }
 
 // ResultsPooled runs the campaign on per-worker reusable machines and
@@ -85,8 +96,7 @@ func (s Spec) ResultsPooled(scenario RunnerScenario) ([]sim.Result, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	return RunPooled(s.Runs, s.Workers, s.Progress,
-		func() *sim.Runner { return new(sim.Runner) },
+	return Do(s.runnerOptions(), s.Runs,
 		func(rn *sim.Runner, r int) (sim.Result, error) {
 			return scenario(rn, s.Config, s.Build(r), s.seed(r))
 		})
@@ -98,13 +108,14 @@ func (s Spec) TaskCycles(scenario Scenario) ([]float64, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	return Run(s.Runs, s.Workers, s.Progress, func(r int) (float64, error) {
-		res, err := scenario(s.Config, s.Build(r), s.seed(r))
-		if err != nil {
-			return 0, err
-		}
-		return float64(res.TaskCycles), nil
-	})
+	return Do(Options[struct{}]{Workers: s.Workers, Progress: s.Progress},
+		s.Runs, func(_ struct{}, r int) (float64, error) {
+			res, err := scenario(s.Config, s.Build(r), s.seed(r))
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.TaskCycles), nil
+		})
 }
 
 // TaskCyclesPooled is TaskCycles on per-worker reusable machines.
@@ -112,8 +123,7 @@ func (s Spec) TaskCyclesPooled(scenario RunnerScenario) ([]float64, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	return RunPooled(s.Runs, s.Workers, s.Progress,
-		func() *sim.Runner { return new(sim.Runner) },
+	return Do(s.runnerOptions(), s.Runs,
 		func(rn *sim.Runner, r int) (float64, error) {
 			res, err := scenario(rn, s.Config, s.Build(r), s.seed(r))
 			if err != nil {

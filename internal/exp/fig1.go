@@ -113,8 +113,11 @@ func fig1Campaign(opts Options, specs []workload.Spec) ([]Fig1Row, error) {
 	// configuration are contiguous, so the pooled machine's platform rarely
 	// changes shape mid-slice).
 	jobs := len(specs) * nCfg * nRun
-	samples, err := campaign.RunPooled(jobs, opts.Workers, opts.Progress,
-		func() *sim.Runner { return new(sim.Runner) },
+	samples, err := campaign.Do(campaign.Options[*sim.Runner]{
+		Workers:        opts.Workers,
+		Progress:       opts.Progress,
+		PerWorkerState: func() *sim.Runner { return new(sim.Runner) },
+	}, jobs,
 		func(rn *sim.Runner, j int) (float64, error) {
 			bi, ci, r := j/(nCfg*nRun), (j/nRun)%nCfg, j%nRun
 			seed := opts.runSeed(bi*nCfg+ci, r)

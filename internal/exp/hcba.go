@@ -150,9 +150,10 @@ func hcbaScenario(variant string, seed uint64) HCBAResult {
 func HCBAAblation(opts Options) []HCBAResult {
 	opts = opts.withDefaults()
 	variants := []string{"weights", "cap"}
-	out, err := campaign.Run(len(variants), opts.Workers, opts.Progress, func(i int) (HCBAResult, error) {
-		return hcbaScenario(variants[i], opts.runSeed(2000+i, 0)), nil
-	})
+	out, err := campaign.Do(campaign.Options[struct{}]{Workers: opts.Workers, Progress: opts.Progress},
+		len(variants), func(_ struct{}, i int) (HCBAResult, error) {
+			return hcbaScenario(variants[i], opts.runSeed(2000+i, 0)), nil
+		})
 	if err != nil {
 		panic(err) // unreachable: scenario jobs never return an error
 	}

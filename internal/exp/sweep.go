@@ -74,14 +74,15 @@ func Sweep(opts Options) []SweepPoint {
 	opts = opts.withDefaults()
 	holds := []int64{7, 14, 28, 42, 56}
 	nPol := len(SweepPolicies)
-	slowdowns, err := campaign.Run(len(holds)*nPol, opts.Workers, opts.Progress, func(j int) (float64, error) {
-		hi, pi := j/nPol, j%nPol
-		h, p := holds[hi], SweepPolicies[pi]
-		seed := opts.runSeed(hi*nPol+pi, 0)
-		iso := sweepRun(p, h, seed, false)
-		con := sweepRun(p, h, seed+1, true)
-		return iso / con, nil
-	})
+	slowdowns, err := campaign.Do(campaign.Options[struct{}]{Workers: opts.Workers, Progress: opts.Progress},
+		len(holds)*nPol, func(_ struct{}, j int) (float64, error) {
+			hi, pi := j/nPol, j%nPol
+			h, p := holds[hi], SweepPolicies[pi]
+			seed := opts.runSeed(hi*nPol+pi, 0)
+			iso := sweepRun(p, h, seed, false)
+			con := sweepRun(p, h, seed+1, true)
+			return iso / con, nil
+		})
 	if err != nil {
 		panic(err) // unreachable: grid jobs never return an error
 	}

@@ -339,7 +339,11 @@ func (p *Pool) runSeed(cfg sim.Config, seed uint64, probe sim.Probe) (sim.Result
 // count, exactly like every other campaign in the module. Each worker runs
 // its share of the schedule on one pooled machine.
 func (c *Compiled) Results(workers int, progress campaign.Progress) ([]sim.Result, error) {
-	return campaign.RunPooled(len(c.Seeds), workers, progress, c.NewPool,
+	return campaign.Do(campaign.Options[*Pool]{
+		Workers:        workers,
+		Progress:       progress,
+		PerWorkerState: c.NewPool,
+	}, len(c.Seeds),
 		func(p *Pool, r int) (sim.Result, error) {
 			return p.RunSeed(c.Seeds[r])
 		})

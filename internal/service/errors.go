@@ -1,0 +1,64 @@
+package service
+
+import "net/http"
+
+// APIError is the versioned error envelope every endpoint returns on
+// failure: a stable machine-readable code, a human message, and optional
+// detail. Clients branch on Code — never on message text, which may be
+// reworded — and cmd/cbaload tallies codes in its summary. The envelope is
+// versioned with the API path (/v1/): a breaking change to its shape ships
+// as /v2/, never as a silent mutation.
+type APIError struct {
+	// Code is the stable error class, one of the Err* constants.
+	Code string `json:"code"`
+	// Message says what went wrong, for humans.
+	Message string `json:"message"`
+	// Detail carries the specific cause (validation error text, offending
+	// id, limit values); may be empty.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stable error codes. These are API surface: removing or renaming one is a
+// breaking change.
+const (
+	// ErrCodeMethod — the endpoint exists but not for this HTTP method.
+	ErrCodeMethod = "method_not_allowed"
+	// ErrCodeBadRequest — the request body could not be read or parsed.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeSpecTooLarge — the body exceeds the spec size bound.
+	ErrCodeSpecTooLarge = "spec_too_large"
+	// ErrCodeInvalidSpec — the body parsed but failed schema validation.
+	ErrCodeInvalidSpec = "invalid_spec"
+	// ErrCodeQueueFull — admission control refused the work (retry later).
+	ErrCodeQueueFull = "queue_full"
+	// ErrCodeRunFailed — a validated spec failed during simulation.
+	ErrCodeRunFailed = "run_failed"
+	// ErrCodeNotFound — no such resource (job id, route).
+	ErrCodeNotFound = "not_found"
+	// ErrCodeJobsDisabled — the daemon runs without a job store.
+	ErrCodeJobsDisabled = "jobs_disabled"
+	// ErrCodeInternal — the server's fault.
+	ErrCodeInternal = "internal"
+)
+
+// httpStatus maps each error code to its transport status.
+var httpStatus = map[string]int{
+	ErrCodeMethod:       http.StatusMethodNotAllowed,
+	ErrCodeBadRequest:   http.StatusBadRequest,
+	ErrCodeSpecTooLarge: http.StatusBadRequest,
+	ErrCodeInvalidSpec:  http.StatusBadRequest,
+	ErrCodeQueueFull:    http.StatusTooManyRequests,
+	ErrCodeRunFailed:    http.StatusUnprocessableEntity,
+	ErrCodeNotFound:     http.StatusNotFound,
+	ErrCodeJobsDisabled: http.StatusNotImplemented,
+	ErrCodeInternal:     http.StatusInternalServerError,
+}
+
+// writeError sends the typed JSON envelope with the code's HTTP status.
+func writeError(w http.ResponseWriter, code, message, detail string) {
+	status, ok := httpStatus[code]
+	if !ok {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, APIError{Code: code, Message: message, Detail: detail})
+}

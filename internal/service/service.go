@@ -17,6 +17,16 @@
 // is full a submission is refused with HTTP 429 instead of queueing
 // unboundedly, which keeps tail latency honest under overload.
 //
+// Beyond interactive runs, the server exposes an asynchronous job API for
+// sharded mega-campaigns (POST/GET/DELETE /v1/jobs): a job is a campaign
+// spec promoted to a resource whose id is the content hash of its spec,
+// executed chunk by chunk through the same worker pool with a checkpoint
+// after every chunk, so jobs survive a daemon restart and resume from
+// their last checkpoint (see internal/shard and DESIGN.md §12).
+//
+// Every error response is a typed JSON envelope (APIError): a stable code,
+// a human message, and optional detail.
+//
 // DESIGN.md §11 documents the architecture and the cache-key soundness
 // argument.
 package service
@@ -32,6 +42,7 @@ import (
 
 	"creditbus/internal/campaign"
 	"creditbus/internal/scenario"
+	"creditbus/internal/shard"
 	"creditbus/internal/sim"
 )
 
@@ -55,6 +66,14 @@ type Options struct {
 	// CacheSize is the result cache capacity in entries (one entry is one
 	// (spec, seed) result). ≤ 0 → DefaultCacheSize.
 	CacheSize int
+	// JobsDir is the root of the on-disk job store for the asynchronous
+	// campaign job API. Empty disables the API: /v1/jobs answers with the
+	// jobs_disabled error code.
+	JobsDir string
+	// JobCheckpointEvery overrides the job chunk size in units (≤ 0 →
+	// shard.DefaultCheckpointEvery). Exposed for tests that need frequent
+	// checkpoints on small campaigns.
+	JobCheckpointEvery int64
 }
 
 // flight is one in-progress execution other submitters of the same result
@@ -75,6 +94,8 @@ type Server struct {
 	mu        sync.Mutex // guards cache and flights
 	cache     *resultCache
 	flights   map[string]*flight
+	jobs      *jobEngine // nil when Options.JobsDir is empty
+	jobUnits  atomic.Int64
 	execGate  func() // test hook: runs in the worker before each execution
 	requests  atomic.Int64
 	bad       atomic.Int64
@@ -93,34 +114,69 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = DefaultCacheSize
 	}
-	pool, err := campaign.NewPool(opts.Workers, opts.Queue, func() *sim.Runner { return &sim.Runner{} })
+	pool, err := campaign.Options[*sim.Runner]{
+		Workers:        opts.Workers,
+		Queue:          opts.Queue,
+		PerWorkerState: func() *sim.Runner { return &sim.Runner{} },
+	}.NewPool()
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		pool:     pool,
 		queueCap: opts.Queue,
 		cacheCap: opts.CacheSize,
 		cache:    newResultCache(opts.CacheSize),
 		flights:  map[string]*flight{},
-	}, nil
+	}
+	if opts.JobsDir != "" {
+		s.jobs = newJobEngine(opts.JobsDir, pool, opts.JobCheckpointEvery,
+			func(n int64) { s.jobUnits.Add(n) })
+		// Resume jobs a previous daemon left behind before serving traffic.
+		if err := s.jobs.load(); err != nil {
+			s.jobs.close()
+			pool.Close()
+			return nil, fmt.Errorf("service: load jobs: %w", err)
+		}
+	}
+	return s, nil
 }
 
-// Close stops intake and waits for in-flight runs to drain.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops intake and waits for in-flight runs to drain: job drivers
+// stop at their next chunk boundary (their checkpoints persist, so a new
+// daemon resumes them), then the pool drains.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.close()
+	}
+	s.pool.Close()
+}
 
 // Handler returns the server's HTTP routes:
 //
-//	POST /v1/run    — submit a scenario spec, receive per-seed results
-//	GET  /v1/stats  — cache/queue/execution counters
-//	GET  /v1/healthz — liveness
+//	POST   /v1/run        — submit a scenario spec, receive per-seed results
+//	POST   /v1/jobs       — submit a campaign spec as an asynchronous job
+//	GET    /v1/jobs       — list jobs
+//	GET    /v1/jobs/{id}  — job status, progress, partial aggregates, report
+//	DELETE /v1/jobs/{id}  — cancel a job and delete its checkpoints
+//	GET    /v1/stats      — cache/queue/execution/job counters
+//	GET    /v1/healthz    — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, ErrCodeMethod, "GET only", "")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, ErrCodeNotFound, "no such route", r.URL.Path)
 	})
 	return mux
 }
@@ -161,6 +217,11 @@ type Stats struct {
 	Misses        int64 `json:"misses"`
 	Coalesced     int64 `json:"coalesced"`
 	Executions    int64 `json:"executions"`
+	// Job API counters: registered jobs, jobs currently running, and the
+	// total campaign units completed by job drivers since daemon start.
+	JobsTotal    int   `json:"jobs_total"`
+	JobsRunning  int   `json:"jobs_running"`
+	JobUnitsDone int64 `json:"job_units_done"`
 }
 
 // Snapshot returns the current counters — the same numbers /v1/stats serves.
@@ -169,6 +230,10 @@ func (s *Server) Snapshot() Stats {
 	entries := s.cache.len()
 	inFlight := len(s.flights)
 	s.mu.Unlock()
+	var jobsTotal, jobsRunning int
+	if s.jobs != nil {
+		jobsTotal, jobsRunning = s.jobs.counts()
+	}
 	return Stats{
 		Workers:       s.pool.Workers(),
 		QueueDepth:    s.pool.QueueDepth(),
@@ -183,38 +248,120 @@ func (s *Server) Snapshot() Stats {
 		Misses:        s.misses.Load(),
 		Coalesced:     s.coalesced.Load(),
 		Executions:    s.execs.Load(),
+		JobsTotal:     jobsTotal,
+		JobsRunning:   jobsRunning,
+		JobUnitsDone:  s.jobUnits.Load(),
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, ErrCodeMethod, "GET only", "")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// handleJobs serves the job collection: POST submits a campaign, GET lists
+// every job.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrCodeJobsDisabled, "daemon started without a job store", "run cbad with -jobs-dir")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.jobs.list())
+	case http.MethodPost:
+		s.requests.Add(1)
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			s.bad.Add(1)
+			writeError(w, ErrCodeBadRequest, "read body", err.Error())
+			return
+		}
+		if len(body) > maxSpecBytes {
+			s.bad.Add(1)
+			writeError(w, ErrCodeSpecTooLarge, "campaign spec too large", fmt.Sprintf("limit %d bytes", maxSpecBytes))
+			return
+		}
+		spec, err := shard.ParseCampaign(body)
+		if err != nil {
+			s.bad.Add(1)
+			writeError(w, ErrCodeInvalidSpec, "campaign spec rejected", err.Error())
+			return
+		}
+		// Validate before touching the job store, so a bad spec is the
+		// client's 400 and a store failure is the server's 500.
+		if _, err := spec.Compile(); err != nil {
+			s.bad.Add(1)
+			writeError(w, ErrCodeInvalidSpec, "campaign spec rejected", err.Error())
+			return
+		}
+		st, created, err := s.jobs.submit(spec)
+		if err != nil {
+			writeError(w, ErrCodeInternal, "job submission failed", err.Error())
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, st)
+	default:
+		writeError(w, ErrCodeMethod, "GET or POST only", "")
+	}
+}
+
+// handleJob serves one job resource: GET for status, DELETE to cancel and
+// discard.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, ErrCodeJobsDisabled, "daemon started without a job store", "run cbad with -jobs-dir")
+		return
+	}
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		st, ok := s.jobs.get(id)
+		if !ok {
+			writeError(w, ErrCodeNotFound, "no such job", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodDelete:
+		st, ok := s.jobs.remove(id)
+		if !ok {
+			writeError(w, ErrCodeNotFound, "no such job", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, ErrCodeMethod, "GET or DELETE only", "")
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, ErrCodeMethod, "POST only", "")
 		return
 	}
 	s.requests.Add(1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		s.bad.Add(1)
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, ErrCodeBadRequest, "read body", err.Error())
 		return
 	}
 	if len(body) > maxSpecBytes {
 		s.bad.Add(1)
-		http.Error(w, fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes), http.StatusBadRequest)
+		writeError(w, ErrCodeSpecTooLarge, "scenario spec too large", fmt.Sprintf("limit %d bytes", maxSpecBytes))
 		return
 	}
 	spec, err := scenario.Parse(body)
 	if err != nil {
 		s.bad.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, ErrCodeInvalidSpec, "scenario spec rejected", err.Error())
 		return
 	}
 	// Compile validates; a spec that loads but breaks a schema rule (seed
@@ -222,12 +369,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	compiled, err := spec.Compile()
 	if err != nil {
 		s.bad.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, ErrCodeInvalidSpec, "scenario spec rejected", err.Error())
 		return
 	}
 	key, err := spec.CacheKey()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, ErrCodeInternal, "cache key derivation failed", err.Error())
 		return
 	}
 
@@ -248,7 +395,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		p.res, p.cached, p.f, err = s.startRun(compiled, key, seed)
 		if err != nil {
 			s.rejected.Add(1)
-			http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+			writeError(w, ErrCodeQueueFull, "queue full, retry later", "")
 			return
 		}
 		runs = append(runs, p)
@@ -267,12 +414,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				if errors.Is(err, campaign.ErrQueueFull) {
 					// A joined flight whose submitter was refused admission.
 					s.rejected.Add(1)
-					http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+					writeError(w, ErrCodeQueueFull, "queue full, retry later", "")
 					return
 				}
 				// A simulation error on a validated spec (e.g. the cycle
 				// limit guard) is the submission's fault, not the server's.
-				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				writeError(w, ErrCodeRunFailed, "simulation failed", err.Error())
 				return
 			}
 		}

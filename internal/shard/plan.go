@@ -1,0 +1,64 @@
+// Package shard promotes campaigns to resumable, sharded jobs: the
+// (scenario, seed) space of a campaign is linearised into a global unit
+// index, range-sharded deterministically across K independent executors
+// (processes, daemons, CI workers), folded shard by shard into exact
+// streaming aggregates, checkpointed atomically so a killed shard resumes
+// from its last complete range, and merged into one report that is
+// byte-identical whatever K was — including K = 1, the single-process
+// reference.
+//
+// The byte-identity rests on three legs, each proven by its own test suite:
+//
+//   - unit determinism — a unit's result is a pure function of (compiled
+//     scenario, seed), the module-wide contract the reuse-differential and
+//     golden-corpus suites enforce;
+//   - exact aggregation — per-unit observables fold into integer moment
+//     accumulators (stats.Exact) and globally-anchored block maxima
+//     (mbpta.Stream) whose merge is provably order-invariant, so shard
+//     states combine into the very state the sequential fold produces;
+//   - canonical rendering — the merged report is derived from that state
+//     alone (never from the shard count) and encoded with a fixed field
+//     order.
+//
+// DESIGN.md §12 documents the architecture.
+package shard
+
+import "fmt"
+
+// Plan is the deterministic range-sharding of a campaign's unit space:
+// Units consecutive units split into Shards contiguous ranges whose sizes
+// differ by at most one. The plan is pure arithmetic — no state, no
+// randomness — so every executor derives identical ranges from (Units,
+// Shards) alone, which is what lets K separate processes partition a
+// campaign with no coordination beyond the spec itself.
+type Plan struct {
+	// Units is the campaign size: the number of (scenario, seed) units.
+	Units int64 `json:"units"`
+	// Shards is the number of contiguous ranges the units split into.
+	Shards int `json:"shards"`
+}
+
+// NewPlan validates and builds a plan. Shards may exceed Units; the excess
+// shards are empty ranges, which execute trivially and merge as identities.
+func NewPlan(units int64, shards int) (Plan, error) {
+	if units < 0 {
+		return Plan{}, fmt.Errorf("shard: units = %d", units)
+	}
+	if shards < 1 {
+		return Plan{}, fmt.Errorf("shard: shards = %d, need ≥ 1", shards)
+	}
+	return Plan{Units: units, Shards: shards}, nil
+}
+
+// Range returns shard i's half-open unit range [lo, hi): units
+// [i·U/K, (i+1)·U/K) in exact integer arithmetic. Ranges tile the unit
+// space — Range(0) starts at 0, Range(K-1) ends at Units, and consecutive
+// ranges share their boundary — and any two executors computing Range(i)
+// agree bit for bit.
+func (p Plan) Range(i int) (lo, hi int64, err error) {
+	if i < 0 || i >= p.Shards {
+		return 0, 0, fmt.Errorf("shard: shard %d out of range [0,%d)", i, p.Shards)
+	}
+	k := int64(p.Shards)
+	return p.Units * int64(i) / k, p.Units * int64(i+1) / k, nil
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the checkpoint-store format version. Bump it when the
+// manifest or shard-file schema changes incompatibly; Open refuses a store
+// written by a different version instead of misreading it.
+const ManifestVersion = 1
+
+// Manifest identifies a checkpoint store: which campaign (by content
+// digest), how large, how sharded, and in which format version. Open
+// verifies a pre-existing manifest field by field, so a checkpoint
+// directory can never silently resume a different campaign — the classic
+// stale-checkpoint corruption a mega-campaign must rule out.
+type Manifest struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	Name     string `json:"name,omitempty"`
+	Units    int64  `json:"units"`
+	Shards   int    `json:"shards"`
+	Block    int    `json:"block"`
+}
+
+// matches reports whether two manifests describe the same computation. Name
+// is a label and does not participate, matching its exclusion from the
+// campaign digest.
+func (m Manifest) matches(o Manifest) bool {
+	return m.Version == o.Version && m.Campaign == o.Campaign &&
+		m.Units == o.Units && m.Shards == o.Shards && m.Block == o.Block
+}
+
+// Store is an on-disk checkpoint directory: one manifest plus one file per
+// shard holding that shard's last checkpointed aggregate. Writes are atomic
+// (temp file + rename within the directory), so a shard killed mid-write
+// leaves its previous checkpoint intact — the invariant resume relies on.
+type Store struct {
+	dir      string
+	manifest Manifest
+}
+
+// Open creates or re-opens a checkpoint store under dir for the given
+// manifest. A fresh directory is initialised (manifest written first, so a
+// directory with shard files but no manifest never exists); an existing one
+// must carry a matching manifest or Open fails — resuming under the wrong
+// campaign digest is corruption, not convenience.
+func Open(dir string, m Manifest) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: open store: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		body, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("shard: encode manifest: %w", err)
+		}
+		if err := writeAtomic(path, append(body, '\n')); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("shard: open store: %w", err)
+	default:
+		var have Manifest
+		if err := json.Unmarshal(data, &have); err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", path, err)
+		}
+		if !have.matches(m) {
+			return nil, fmt.Errorf("shard: checkpoint dir %s belongs to campaign %.12s (units=%d shards=%d block=%d v%d), not %.12s (units=%d shards=%d block=%d v%d)",
+				dir, have.Campaign, have.Units, have.Shards, have.Block, have.Version,
+				m.Campaign, m.Units, m.Shards, m.Block, m.Version)
+		}
+	}
+	return &Store{dir: dir, manifest: m}, nil
+}
+
+// Manifest returns the store's identity.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) shardPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%04d.json", i))
+}
+
+// SaveShard atomically checkpoints shard i's aggregate: the state is
+// written to a temp file in the store directory and renamed over the shard
+// file, so a crash at any instant leaves either the old checkpoint or the
+// new one, never a torn file.
+func (s *Store) SaveShard(i int, a *Agg) error {
+	if i < 0 || i >= s.manifest.Shards {
+		return fmt.Errorf("shard: save shard %d of %d", i, s.manifest.Shards)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("shard: encode shard %d: %w", i, err)
+	}
+	return writeAtomic(s.shardPath(i), data)
+}
+
+// LoadShard reads shard i's last checkpoint. ok is false with no error when
+// the shard has never checkpointed — the fresh-start signal. A loaded
+// aggregate is validated against the manifest (block size, digest-stream
+// shape, stream anchoring) before it is trusted.
+func (s *Store) LoadShard(i int) (a *Agg, ok bool, err error) {
+	if i < 0 || i >= s.manifest.Shards {
+		return nil, false, fmt.Errorf("shard: load shard %d of %d", i, s.manifest.Shards)
+	}
+	data, err := os.ReadFile(s.shardPath(i))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("shard: load shard %d: %w", i, err)
+	}
+	a = new(Agg)
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, false, fmt.Errorf("shard: %s: %w", s.shardPath(i), err)
+	}
+	if err := a.validate(s.manifest.Block); err != nil {
+		return nil, false, fmt.Errorf("shard: %s: %w", s.shardPath(i), err)
+	}
+	return a, true, nil
+}
+
+// writeAtomic writes data to path via a temp file and rename in the same
+// directory — atomic on POSIX filesystems.
+func writeAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("shard: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("shard: write %s: %w", path, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
