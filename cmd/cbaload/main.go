@@ -35,6 +35,7 @@ import (
 
 	"creditbus/internal/scenario"
 	"creditbus/internal/service"
+	"creditbus/internal/stats"
 )
 
 func main() {
@@ -375,16 +376,19 @@ func fetchStats(client *http.Client, addr string) (service.Stats, error) {
 	return st, nil
 }
 
-// percentiles returns p50, p99 and max over latency samples (ms).
+// percentiles returns p50, p99 and max over latency samples (ms), using the
+// same type-7 interpolated quantiles as the rest of the codebase
+// (stats.Percentile) — an ad-hoc nearest-rank rounding here used to disagree
+// with every reported percentile elsewhere on small samples.
 func percentiles(ms []float64) (p50, p99, max float64) {
 	if len(ms) == 0 {
 		return 0, 0, 0
 	}
-	sorted := append([]float64(nil), ms...)
-	sort.Float64s(sorted)
-	at := func(q float64) float64 {
-		i := int(q*float64(len(sorted)-1) + 0.5)
-		return sorted[i]
+	max = ms[0]
+	for _, v := range ms[1:] {
+		if v > max {
+			max = v
+		}
 	}
-	return at(0.50), at(0.99), sorted[len(sorted)-1]
+	return stats.Percentile(ms, 0.50), stats.Percentile(ms, 0.99), max
 }

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"creditbus/internal/service"
+	"creditbus/internal/stats"
 )
 
 // startDaemon boots the service core over httptest — the same handler
@@ -124,5 +126,41 @@ func TestRequireHitFailsCold(t *testing.T) {
 	err := run(args, &out)
 	if err == nil || !strings.Contains(err.Error(), "zero cache hits") {
 		t.Fatalf("cold cache passed -require-hit: %v", err)
+	}
+}
+
+// TestPercentilesMatchStats pins the latency percentiles to the codebase's
+// canonical type-7 interpolated quantiles. The fixture is chosen so the old
+// ad-hoc nearest-rank rounding (int(q·(n-1)+0.5)) visibly disagrees on both
+// reported quantiles: it said p50=30, p99=40 here.
+func TestPercentilesMatchStats(t *testing.T) {
+	fixture := []float64{10, 20, 30, 40}
+	p50, p99, max := percentiles(fixture)
+	if want := stats.Percentile(fixture, 0.50); p50 != want {
+		t.Errorf("p50 = %v, want stats.Percentile = %v", p50, want)
+	}
+	if want := stats.Percentile(fixture, 0.99); p99 != want {
+		t.Errorf("p99 = %v, want stats.Percentile = %v", p99, want)
+	}
+	if p50 != 25 {
+		t.Errorf("p50 = %v, want the interpolated 25 (nearest-rank gave 30)", p50)
+	}
+	if math.Abs(p99-39.7) > 1e-9 {
+		t.Errorf("p99 = %v, want the interpolated 39.7 (nearest-rank gave 40)", p99)
+	}
+	if max != 40 {
+		t.Errorf("max = %v, want 40", max)
+	}
+	// Unsorted input must yield the same quantiles without being mutated.
+	shuffled := []float64{30, 10, 40, 20}
+	q50, q99, qmax := percentiles(shuffled)
+	if q50 != p50 || q99 != p99 || qmax != max {
+		t.Errorf("unsorted fixture: got (%v %v %v), want (%v %v %v)", q50, q99, qmax, p50, p99, max)
+	}
+	if shuffled[0] != 30 || shuffled[1] != 10 || shuffled[2] != 40 || shuffled[3] != 20 {
+		t.Errorf("percentiles mutated its input: %v", shuffled)
+	}
+	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty input: got (%v %v %v), want zeros", a, b, c)
 	}
 }

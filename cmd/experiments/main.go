@@ -41,7 +41,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which    = fs.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all (fig1x = full 10-kernel suite, not in all)")
+		which    = fs.String("exp", "all", "comma-separated: ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba,fairness or all (fig1x = full 10-kernel suite, not in all)")
 		runs     = fs.Int("runs", 30, "randomised runs per configuration (the paper uses 1000)")
 		seed     = fs.Uint64("seed", 0, "base seed (0 = default)")
 		bench    = fs.String("mbpta-bench", "matrix", "benchmark for the MBPTA experiment")
@@ -91,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	known := map[string]bool{
 		"all": true, "ill": true, "table1": true, "fig1": true, "fig1x": true,
 		"sweep": true, "overhead": true, "mbpta": true, "hcba": true,
+		"fairness": true,
 	}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*which, ",") {
@@ -99,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		if !known[name] {
-			return fmt.Errorf("unknown experiment %q (have ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba or all)", name)
+			return fmt.Errorf("unknown experiment %q (have ill,table1,fig1,fig1x,sweep,overhead,mbpta,hcba,fairness or all)", name)
 		}
 		selected[name] = true
 	}
@@ -142,6 +143,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if all || selected["hcba"] {
 		if err := runHCBA(opts, emit); err != nil {
+			return err
+		}
+	}
+	if all || selected["fairness"] {
+		if err := runFairness(opts, emit); err != nil {
 			return err
 		}
 	}
@@ -343,6 +349,29 @@ func runMBPTA(opts exp.Options, bench string, emit func(*report.Table) error) er
 	t2.AddRowf("Gumbel location μ", r.RP.Fit.Mu, r.CBA.Fit.Mu)
 	t2.AddRowf("Gumbel scale σ", r.RP.Fit.Sigma, r.CBA.Fit.Sigma)
 	return emit(t2)
+}
+
+func runFairness(opts exp.Options, emit func(*report.Table) error) error {
+	rows, err := exp.FairnessComparison(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("EXP-FAIR — fairness zoo vs slot-fair baselines (entitlement %v, window %d cy, %d runs/policy)",
+			exp.FairnessWeights, exp.FairnessWindow, opts.Runs),
+		"policy", "TuA cycles", "TuA share (ent 0.500)", "Jain", "share err", "win err max", "win err mean", "max starve (cy)")
+	for _, r := range rows {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.0f", r.TaskCycles),
+			fmt.Sprintf("%.3f", r.TuAShare),
+			fmt.Sprintf("%.3f", r.JainOverall),
+			fmt.Sprintf("%.3f", r.ShareErr),
+			fmt.Sprintf("%.3f", r.MaxWindowShareErr),
+			fmt.Sprintf("%.3f", r.MeanWindowShareErr),
+			fmt.Sprintf("%.0f", r.MaxStarveAge),
+		)
+	}
+	return emit(t)
 }
 
 func runHCBA(opts exp.Options, emit func(*report.Table) error) error {

@@ -39,6 +39,7 @@ package creditbus
 import (
 	"fmt"
 
+	"creditbus/internal/arbiter"
 	"creditbus/internal/campaign"
 	"creditbus/internal/core"
 	"creditbus/internal/cpu"
@@ -83,7 +84,26 @@ const (
 	PolicyLottery    = sim.PolicyLottery
 	PolicyRandomPerm = sim.PolicyRandomPerm
 	PolicyPriority   = sim.PolicyPriority
+	// The fairness-policy zoo: proportional fair (EWMA rate averaging),
+	// general weighted fairness (start-time fair queueing) and the
+	// multi-timescale token-bucket profile. All three accept per-core
+	// Config.Weights; PF also honours Config.PFAvgShift and MTS honours
+	// Config.MTSTimescales.
+	PolicyPropFair = sim.PolicyPropFair
+	PolicyGWF      = sim.PolicyGWF
+	PolicyMTS      = sim.PolicyMTS
 )
+
+// MaxWeight bounds per-core arbitration weights (Config.Weights and
+// Config.LotteryTickets entries).
+const MaxWeight = sim.MaxWeight
+
+// Timescale is one token bucket of an MTS bandwidth profile
+// (Config.MTSTimescales).
+type Timescale = arbiter.Timescale
+
+// DefaultTimescales is the MTS policy's built-in two-timescale profile.
+func DefaultTimescales() []Timescale { return arbiter.DefaultTimescales() }
 
 // CBA variants for Config.Credit.Kind.
 const (

@@ -121,3 +121,31 @@ func TestFacadeWorkloadsScenario(t *testing.T) {
 		t.Fatal("no cycles")
 	}
 }
+
+func TestFacadeFairnessZoo(t *testing.T) {
+	cfg := creditbus.DefaultConfig()
+	cfg.Policy = creditbus.PolicyMTS
+	cfg.Weights = []int64{2, 1, 1, 2}
+	cfg.MTSTimescales = creditbus.DefaultTimescales()
+	if len(cfg.MTSTimescales) == 0 {
+		t.Fatal("DefaultTimescales is empty")
+	}
+	for _, ts := range cfg.MTSTimescales {
+		if ts.Num < 1 || ts.Den < 1 || ts.Depth < 1 {
+			t.Fatalf("default timescale %+v has a field < 1", ts)
+		}
+		if ts.Den > creditbus.MaxWeight {
+			t.Fatalf("default timescale %+v exceeds MaxWeight", ts)
+		}
+	}
+	tua, _ := creditbus.BuildWorkload("rspeed", 1)
+	stream, _ := creditbus.BuildWorkload("stream", 2)
+	progs := []creditbus.Program{tua, creditbus.Loop(stream), nil, nil}
+	res, err := creditbus.RunWorkloads(cfg, progs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}

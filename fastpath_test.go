@@ -30,7 +30,8 @@ func TestFastPathCollectMaxContentionVectors(t *testing.T) {
 
 	policies := []sim.PolicyKind{creditbus.PolicyRoundRobin, creditbus.PolicyFIFO,
 		creditbus.PolicyTDMA, creditbus.PolicyLottery, creditbus.PolicyRandomPerm,
-		creditbus.PolicyPriority}
+		creditbus.PolicyPriority, creditbus.PolicyPropFair, creditbus.PolicyGWF,
+		creditbus.PolicyMTS}
 	credits := []sim.CreditKind{creditbus.CreditOff, creditbus.CreditCBA,
 		creditbus.CreditHCBAWeights, creditbus.CreditHCBACap}
 	workloads := []struct {

@@ -18,6 +18,10 @@ import (
 // word-boundary-straddling odd count.
 var scaleCounts = []int{2, 8, 64, 257, 1024}
 
+// mtsFine is a custom single-cycle-granularity profile exercising the MTS
+// policy's non-default timescale path.
+var mtsFine = []Timescale{{Num: 1, Den: 16, Depth: 2}, {Num: 1, Den: 96, Depth: 6}, {Num: 1, Den: 700, Depth: 40}}
+
 // rngDrainer exposes the policy's rng stream so the test can prove two
 // instances consumed exactly the same draws.
 type rngDrainer interface{ drain() *rng.Stream }
@@ -48,6 +52,16 @@ func TestBitsetPoliciesMatchReferenceScans(t *testing.T) {
 				func(s uint64) Policy { return newRefLottery(n, tickets, s) }},
 			{"RP", func(s uint64) Policy { return NewRandomPermutation(n, s) },
 				func(s uint64) Policy { return newRefRandomPermutation(n, s) }},
+			{"PF", func(uint64) Policy { return NewPropFair(n, tickets, 0) },
+				func(uint64) Policy { return newRefPropFair(n, tickets, 0) }},
+			{"PF-slow", func(uint64) Policy { return NewPropFair(n, nil, 4) },
+				func(uint64) Policy { return newRefPropFair(n, nil, 4) }},
+			{"GWF", func(uint64) Policy { return NewGWF(n, tickets) },
+				func(uint64) Policy { return newRefGWF(n, tickets) }},
+			{"MTS", func(uint64) Policy { return NewMTS(n, tickets, nil) },
+				func(uint64) Policy { return newRefMTS(n, tickets, nil) }},
+			{"MTS-fine", func(uint64) Policy { return NewMTS(n, nil, mtsFine) },
+				func(uint64) Policy { return newRefMTS(n, nil, mtsFine) }},
 		}
 		for _, tc := range cases {
 			tc := tc

@@ -269,6 +269,11 @@ func (b *Bus) Cycle() int64 { return b.cycle }
 // it (reseeding via arbiter.Reseeder) instead of rebuilding it per run.
 func (b *Bus) Policy() arbiter.Policy { return b.cfg.Policy }
 
+// SetOnGrant installs (or, with nil, removes) the per-grant observer after
+// construction. Reuse replaces the whole Config, so an observer does not
+// survive reinitialisation — reinstall it after every Reuse.
+func (b *Bus) SetOnGrant(fn func(GrantEvent)) { b.cfg.OnGrant = fn }
+
 // Masters returns the number of masters.
 func (b *Bus) Masters() int { return b.cfg.Masters }
 

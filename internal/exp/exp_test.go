@@ -210,3 +210,61 @@ func TestHCBAAblationContrast(t *testing.T) {
 		t.Errorf("weights variant contender share %.3f exceeds the Σ(1/6) cap", weights.ContenderShare)
 	}
 }
+
+func TestFairnessComparisonSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign")
+	}
+	rows, err := FairnessComparison(Options{Runs: 3, MaxOps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FairnessPolicies) {
+		t.Fatalf("rows = %d, want %d policies", len(rows), len(FairnessPolicies))
+	}
+	byName := map[string]FairnessRow{}
+	for i, row := range rows {
+		if row.Policy != FairnessPolicies[i] {
+			t.Fatalf("row %d is %s, want %s", i, row.Policy, FairnessPolicies[i])
+		}
+		byName[row.Policy] = row
+		if row.TaskCycles <= 0 {
+			t.Errorf("%s: zero task cycles", row.Policy)
+		}
+		n := float64(len(FairnessWeights))
+		if row.JainOverall < 1/n-1e-9 || row.JainOverall > 1+1e-9 {
+			t.Errorf("%s: Jain %.4f outside [1/n, 1]", row.Policy, row.JainOverall)
+		}
+		for what, v := range map[string]float64{
+			"share err":    row.ShareErr,
+			"win err max":  row.MaxWindowShareErr,
+			"win err mean": row.MeanWindowShareErr,
+			"TuA share":    row.TuAShare,
+		} {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Errorf("%s: %s %.4f outside [0, 1]", row.Policy, what, v)
+			}
+		}
+		if row.MaxStarveAge <= 0 {
+			t.Errorf("%s: no starvation age recorded", row.Policy)
+		}
+	}
+	// The headline contrast: under full backlog, round-robin splits the bus
+	// evenly (Jain ≈ 1 against the unweighted shares) while the weighted
+	// policies move the TuA toward its 50% entitlement, so PF and GWF must
+	// beat RR on share error by a clear margin.
+	rr, pf, gwf := byName["RR"], byName["PF"], byName["GWF"]
+	if rr.JainOverall < 0.99 {
+		t.Errorf("RR: Jain %.4f, want ≈ 1 under symmetric backlog", rr.JainOverall)
+	}
+	if pf.ShareErr >= rr.ShareErr {
+		t.Errorf("PF share error %.4f not below RR's %.4f", pf.ShareErr, rr.ShareErr)
+	}
+	if gwf.ShareErr >= rr.ShareErr {
+		t.Errorf("GWF share error %.4f not below RR's %.4f", gwf.ShareErr, rr.ShareErr)
+	}
+	if pf.TuAShare <= rr.TuAShare || gwf.TuAShare <= rr.TuAShare {
+		t.Errorf("weighted TuA shares (PF %.3f, GWF %.3f) not above RR's %.3f",
+			pf.TuAShare, gwf.TuAShare, rr.TuAShare)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned table.
@@ -54,14 +55,17 @@ func (t *Table) Rows() int { return len(t.rows) }
 
 // Fprint renders the table.
 func (t *Table) Fprint(w io.Writer) error {
+	// Column widths count runes, not bytes: byte lengths over-pad every
+	// column holding a multi-byte cell (µs units, policy names with
+	// non-ASCII glyphs) and misalign the whole table.
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -96,8 +100,8 @@ func (t *Table) Fprint(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV emits the table as CSV (header + rows). Cells containing commas
-// or quotes are quoted.
+// WriteCSV emits the table as CSV (header + rows). Cells containing commas,
+// quotes, newlines or carriage returns are quoted per RFC 4180.
 func (t *Table) WriteCSV(w io.Writer) error {
 	rows := append([][]string{t.Columns}, t.rows...)
 	for _, row := range rows {
@@ -112,16 +116,21 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// csvEscape quotes a cell when RFC 4180 requires it: commas, quotes and
+// both newline bytes — a bare \r inside an unquoted field splits the record
+// on readers that accept CR line endings.
 func csvEscape(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
+	if strings.ContainsAny(s, ",\"\n\r") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s
 }
 
+// pad right-pads s to w display positions, counting runes (see Fprint).
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }

@@ -44,9 +44,23 @@ func (s Spec) config() sim.Config {
 	if pk, err := ParsePolicy(s.Policy); err == nil {
 		cfg.Policy = pk
 	}
-	if s.Policy == "LOT" {
-		if tickets := s.lotteryTickets(cfg.Cores); tickets != nil {
+	switch {
+	case s.Policy == "LOT":
+		if tickets := s.coreWeights(cfg.Cores); tickets != nil {
 			cfg.LotteryTickets = tickets
+		}
+	case WeightedPolicy(s.Policy):
+		if weights := s.coreWeights(cfg.Cores); weights != nil {
+			cfg.Weights = weights
+		}
+	}
+	if f := s.Fair; f != nil {
+		cfg.PFAvgShift = f.AvgShift
+		if len(f.Timescales) > 0 {
+			cfg.MTSTimescales = make([]sim.Timescale, len(f.Timescales))
+			for i, ts := range f.Timescales {
+				cfg.MTSTimescales[i] = sim.Timescale{Num: ts.Num, Den: ts.Den, Depth: ts.Depth}
+			}
 		}
 	}
 	if c := s.Credit; c != nil {
@@ -66,11 +80,12 @@ func (s Spec) config() sim.Config {
 	return cfg
 }
 
-// lotteryTickets derives per-core ticket counts from workload weights:
-// weightless cores (and cores without workloads — WCET injectors still
-// arbitrate) hold one ticket. Nil when no workload states a weight, which
+// coreWeights derives the per-core weight vector from workload weights —
+// lottery tickets under LOT, fairness-zoo entitlements under PF/GWF/MTS.
+// Weightless cores (and cores without workloads — WCET injectors still
+// arbitrate) hold weight 1. Nil when no workload states a weight, which
 // keeps the policy's unweighted default.
-func (s Spec) lotteryTickets(cores int) []int64 {
+func (s Spec) coreWeights(cores int) []int64 {
 	weighted := false
 	tickets := make([]int64, cores)
 	for i := range tickets {

@@ -21,7 +21,7 @@ const (
 
 	// corpusFloor is the curated corpus's minimum size; shrinking it is a
 	// deliberate decision, not a test edit.
-	corpusFloor = 30
+	corpusFloor = 36
 )
 
 // TestCorpusGolden is the corpus contract: every scenario under

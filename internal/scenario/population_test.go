@@ -53,7 +53,7 @@ func TestPopulationValidateRejections(t *testing.T) {
 		{"unknown workload", func(s *Spec) { s.Populations[0].Name = "dhrystone" }, "unknown workload"},
 		{"negative ops", func(s *Spec) { s.Populations[0].Ops = -1 }, "ops"},
 		{"negative weight", func(s *Spec) { s.Populations[0].Weight = -2 }, "weight"},
-		{"weight without LOT", func(s *Spec) { s.Populations[0].Weight = 2 }, "policy LOT"},
+		{"weight without LOT", func(s *Spec) { s.Populations[0].Weight = 2 }, "weighted policies"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

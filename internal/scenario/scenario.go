@@ -87,6 +87,27 @@ type Credit struct {
 	CapFactor int64 `json:"cap_factor,omitempty"`
 }
 
+// Fair parameterises the fairness-zoo policies. The block is only legal —
+// and must be non-empty — when the policy accepts the stated knob.
+type Fair struct {
+	// AvgShift sets the PF policy's EWMA coefficient β = 2^-shift, in
+	// [1, 30] (policy PF only; omitted = the policy default, shift 1).
+	AvgShift int `json:"avg_shift,omitempty"`
+	// Timescales overrides the MTS policy's token-bucket profile, fine to
+	// coarse, at most 8 entries (policy MTS only; omitted = the default
+	// two-timescale profile).
+	Timescales []TimescaleSpec `json:"timescales,omitempty"`
+}
+
+// TimescaleSpec is one MTS token bucket: refill num/den grants per cycle
+// (scaled by the core's weight), burst capacity depth grants. All three
+// fields are required, each in [1, sim.MaxWeight].
+type TimescaleSpec struct {
+	Num   int64 `json:"num"`
+	Den   int64 `json:"den"`
+	Depth int64 `json:"depth"`
+}
+
 // Workload assigns a program to one core.
 type Workload struct {
 	// Core is the core index the program runs on.
@@ -100,7 +121,9 @@ type Workload struct {
 	// Loop replays the trace forever — co-runner tasks that must generate
 	// contention for the whole run. Only meaningful in workloads runs.
 	Loop bool `json:"loop,omitempty"`
-	// Weight is the core's lottery ticket count (policy LOT; default 1).
+	// Weight is the core's arbitration weight — lottery tickets under LOT,
+	// the entitlement under the fairness-zoo policies (PF, GWF, MTS);
+	// default 1. Only legal under a weighted policy.
 	Weight int64 `json:"weight,omitempty"`
 	// Criticality is HI or LO (mixed-criticality pairings). The unique HI
 	// core becomes the TuA when Spec.TuA is unset.
@@ -132,7 +155,8 @@ type Population struct {
 	Ops int `json:"ops,omitempty"`
 	// Loop replays each member's trace forever.
 	Loop bool `json:"loop,omitempty"`
-	// Weight is each member's lottery ticket count (policy LOT; default 1).
+	// Weight is each member's arbitration weight under the weighted
+	// policies (LOT, PF, GWF, MTS; default 1).
 	Weight int64 `json:"weight,omitempty"`
 }
 
@@ -245,11 +269,15 @@ type Spec struct {
 	// Platform optionally overrides cache geometry and latencies.
 	Platform *Platform `json:"platform,omitempty"`
 
-	// Policy is the arbitration policy: RR, FIFO, TDMA, LOT, RP or PRI
-	// (default RP, the paper's MBPTA baseline).
+	// Policy is the arbitration policy: RR, FIFO, TDMA, LOT, RP, PRI or a
+	// fairness-zoo member — PF, GWF, MTS (default RP, the paper's MBPTA
+	// baseline).
 	Policy string `json:"policy,omitempty"`
 	// Credit selects the CBA variant (default off).
 	Credit *Credit `json:"credit,omitempty"`
+	// Fair parameterises the fairness-zoo policies (PF's EWMA shift, MTS's
+	// timescale profile).
+	Fair *Fair `json:"fair,omitempty"`
 
 	// Run is the run kind: isolation, wcet or workloads.
 	Run string `json:"run"`
@@ -351,6 +379,20 @@ var policyKinds = map[string]sim.PolicyKind{
 	"LOT":  sim.PolicyLottery,
 	"RP":   sim.PolicyRandomPerm,
 	"PRI":  sim.PolicyPriority,
+	"PF":   sim.PolicyPropFair,
+	"GWF":  sim.PolicyGWF,
+	"MTS":  sim.PolicyMTS,
+}
+
+// WeightedPolicy reports whether the named policy consumes per-core
+// weights (Workload.Weight / Population.Weight): the lottery and all of
+// the fairness zoo.
+func WeightedPolicy(name string) bool {
+	switch name {
+	case "LOT", "PF", "GWF", "MTS":
+		return true
+	}
+	return false
 }
 
 // creditKinds maps the schema's credit kinds onto sim kinds.
@@ -497,6 +539,38 @@ func (s Spec) Validate() error {
 		}
 	}
 
+	if f := s.Fair; f != nil {
+		if f.AvgShift == 0 && len(f.Timescales) == 0 {
+			return fmt.Errorf("scenario: fair block is empty; state avg_shift or timescales (or drop the block)")
+		}
+		if f.AvgShift != 0 {
+			if s.Policy != "PF" {
+				return fmt.Errorf("scenario: fair.avg_shift only applies to policy PF, not %q", s.Policy)
+			}
+			if f.AvgShift < 1 || f.AvgShift > 30 {
+				return fmt.Errorf("scenario: fair.avg_shift = %d outside [1, 30]", f.AvgShift)
+			}
+		}
+		if len(f.Timescales) != 0 {
+			if s.Policy != "MTS" {
+				return fmt.Errorf("scenario: fair.timescales only apply to policy MTS, not %q", s.Policy)
+			}
+			if len(f.Timescales) > 8 {
+				return fmt.Errorf("scenario: %d fair.timescales, need ≤ 8", len(f.Timescales))
+			}
+			for i, ts := range f.Timescales {
+				for _, fld := range []struct {
+					name string
+					v    int64
+				}{{"num", ts.Num}, {"den", ts.Den}, {"depth", ts.Depth}} {
+					if fld.v < 1 || fld.v > sim.MaxWeight {
+						return fmt.Errorf("scenario: fair.timescales[%d].%s = %d outside [1, %d]", i, fld.name, fld.v, sim.MaxWeight)
+					}
+				}
+			}
+		}
+	}
+
 	switch s.Run {
 	case RunIsolation, RunWCET, RunWorkloads:
 	default:
@@ -532,8 +606,8 @@ func (s Spec) Validate() error {
 		if w.Weight < 0 {
 			return fmt.Errorf("scenario: workloads[%d].weight = %d", i, w.Weight)
 		}
-		if w.Weight != 0 && s.Policy != "LOT" {
-			return fmt.Errorf("scenario: workloads[%d].weight only applies to policy LOT", i)
+		if w.Weight != 0 && !WeightedPolicy(s.Policy) {
+			return fmt.Errorf("scenario: workloads[%d].weight only applies to the weighted policies (LOT, PF, GWF, MTS)", i)
 		}
 		switch w.Criticality {
 		case "", CritHigh, CritLow:
@@ -568,8 +642,8 @@ func (s Spec) Validate() error {
 		if p.Weight < 0 {
 			return fmt.Errorf("scenario: populations[%d].weight = %d", i, p.Weight)
 		}
-		if p.Weight != 0 && s.Policy != "LOT" {
-			return fmt.Errorf("scenario: populations[%d].weight only applies to policy LOT", i)
+		if p.Weight != 0 && !WeightedPolicy(s.Policy) {
+			return fmt.Errorf("scenario: populations[%d].weight only applies to the weighted policies (LOT, PF, GWF, MTS)", i)
 		}
 	}
 

@@ -53,7 +53,7 @@ func TestValidateRejections(t *testing.T) {
 		{"core range", func(s *Spec) { s.Workloads[0].Core = 4 }, "out of range"},
 		{"unknown workload", func(s *Spec) { s.Workloads[0].Name = "dhrystone" }, "unknown workload"},
 		{"negative ops", func(s *Spec) { s.Workloads[0].Ops = -1 }, "ops"},
-		{"weight without LOT", func(s *Spec) { s.Workloads[0].Weight = 2 }, "policy LOT"},
+		{"weight without LOT", func(s *Spec) { s.Workloads[0].Weight = 2 }, "weighted policies"},
 		{"bad criticality", func(s *Spec) { s.Workloads[0].Criticality = "MID" }, "criticality"},
 		{"loop outside workloads run", func(s *Spec) { s.Workloads[0].Loop = true }, "loop"},
 		{"tua without workload", func(s *Spec) { s.TuA = intp(1) }, "no workload"},
@@ -79,6 +79,30 @@ func TestValidateRejections(t *testing.T) {
 		{"seed stride product wraps", func(s *Spec) { s.Seeds = Seeds{Runs: 3, Stride: math.MaxUint64} }, "overflows"},
 		{"negative platform", func(s *Spec) { s.Platform = &Platform{L1Sets: -4} }, "platform.l1_sets"},
 		{"invalid cache geometry", func(s *Spec) { s.Platform = &Platform{L1Sets: 3} }, "L1"},
+		{"empty fair block", func(s *Spec) {
+			s.Policy = "PF"
+			s.Fair = &Fair{}
+		}, "fair block is empty"},
+		{"avg_shift without PF", func(s *Spec) {
+			s.Policy = "GWF"
+			s.Fair = &Fair{AvgShift: 2}
+		}, "avg_shift only applies to policy PF"},
+		{"avg_shift range", func(s *Spec) {
+			s.Policy = "PF"
+			s.Fair = &Fair{AvgShift: 31}
+		}, "avg_shift"},
+		{"timescales without MTS", func(s *Spec) {
+			s.Policy = "PF"
+			s.Fair = &Fair{Timescales: []TimescaleSpec{{Num: 1, Den: 64, Depth: 4}}}
+		}, "timescales only apply to policy MTS"},
+		{"too many timescales", func(s *Spec) {
+			s.Policy = "MTS"
+			s.Fair = &Fair{Timescales: make([]TimescaleSpec, 9)}
+		}, "≤ 8"},
+		{"timescale field range", func(s *Spec) {
+			s.Policy = "MTS"
+			s.Fair = &Fair{Timescales: []TimescaleSpec{{Num: 1, Den: 0, Depth: 4}}}
+		}, "timescales[0].den"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

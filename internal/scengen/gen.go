@@ -84,7 +84,7 @@ func oneOf[T any](src Source, xs ...T) T { return xs[src.Intn(len(xs))] }
 // millions of them.
 var (
 	smallCores = []int{2, 2, 3, 4, 4, 4, 6, 8, 12, 16}
-	policies   = []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI"}
+	policies   = []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI", "PF", "GWF", "MTS"}
 	engines    = []string{"", scenario.EngineFast, scenario.EnginePerCycle}
 	// ueNames are the population workloads (see workload's UE profiles).
 	ueNames = []string{"ue-stream", "ue-web", "ue-voice", "ue-mix"}
@@ -168,6 +168,9 @@ func Generate(src Source, name string) scenario.Spec {
 	tua := workloads(src, &s)
 	if c := credit(src, s.Cores, tua); c != nil {
 		s.Credit = c
+	}
+	if f := fair(src, s.Policy); f != nil {
+		s.Fair = f
 	}
 	seeds(src, &s)
 
@@ -260,7 +263,7 @@ func workloads(src Source, s *scenario.Spec) int {
 		} else {
 			w.Ops = coOps(src, s.Cores)
 		}
-		if s.Policy == "LOT" && pct(src, 50) {
+		if scenario.WeightedPolicy(s.Policy) && pct(src, 50) {
 			w.Weight = int64(between(src, 1, 8))
 		}
 		return w
@@ -339,10 +342,39 @@ func population(src Source, s *scenario.Spec, tua int) {
 	} else {
 		p.Ops = between(src, 30, 120)
 	}
-	if s.Policy == "LOT" && pct(src, 50) {
+	if scenario.WeightedPolicy(s.Policy) && pct(src, 50) {
 		p.Weight = int64(between(src, 1, 8))
 	}
 	s.Populations = append(s.Populations, p)
+}
+
+// fair sometimes draws a Fair block for the parameterisable fairness-zoo
+// policies: a non-default EWMA shift for PF, a 1–3-bucket custom profile
+// for MTS. Nil keeps the policy defaults (and is mandatory elsewhere — the
+// schema rejects the block under other policies).
+func fair(src Source, policy string) *scenario.Fair {
+	switch policy {
+	case "PF":
+		if pct(src, 40) {
+			return &scenario.Fair{AvgShift: between(src, 1, 8)}
+		}
+	case "MTS":
+		if pct(src, 40) {
+			ts := make([]scenario.TimescaleSpec, between(src, 1, 3))
+			den := 1
+			for i := range ts {
+				// Fine-to-coarse: each bucket's period and depth grow.
+				den *= between(src, 8, 64)
+				ts[i] = scenario.TimescaleSpec{
+					Num:   1,
+					Den:   int64(den),
+					Depth: int64(between(src, 2, 8) * (i + 1)),
+				}
+			}
+			return &scenario.Fair{Timescales: ts}
+		}
+	}
+	return nil
 }
 
 // credit draws the CBA variant. Nil means off. The privileged core for the

@@ -12,8 +12,8 @@ import (
 // deterministic strings (no maps, no addresses), so a fixed-seed fuzzing
 // campaign's report is byte-reproducible.
 type Violation struct {
-	// Oracle names the property: run, differential, conservation, credit
-	// or metamorphic.
+	// Oracle names the property: run, differential, conservation, credit,
+	// fairness, metamorphic or reuse.
 	Oracle string
 	// Seed is the run seed the violation occurred under.
 	Seed uint64
@@ -41,6 +41,10 @@ func (v Violation) String() string {
 //     drain ever underflows, and Eq. 1's conservation bound
 //     budget_i(t) + S·held_i(t) ≤ init_i + t·w_i holds — whose budget ≥ 0
 //     corollary is the weighted-share cap share_i(t) ≤ w_i/S + init_i/(S·t);
+//   - fairness (credit-off wcet runs under PF/GWF/MTS): the symmetric,
+//     permanently backlogged contention injectors end the run with
+//     near-equal grant counts (pairwise ratio ≤ 1.25, runs with fewer than
+//     64 grants per injector skipped);
 //   - metamorphic (non-isolation runs): the same TuA program on the same
 //     configuration and seed, run in isolation, finishes no later than under
 //     contention, with identical instruction/load/store/atomic counts,
@@ -215,20 +219,48 @@ func checkMetamorphic(c *scenario.Compiled, seed uint64, contended sim.Result) [
 
 // observer is the step-granularity probe: at every engine step it re-checks
 // the conservation and credit invariants and records the first breach of
-// each oracle (one is enough — the repro pinpoints the rest).
+// each oracle (one is enough — the repro pinpoints the rest). For
+// fairness-zoo WCET runs it additionally tracks the final per-master grant
+// counts, which the fairness oracle compares after the run.
 type observer struct {
 	maxHold      int64
 	conservation *string // first conservation breach, nil while clean
 	credit       *string
+
+	// Fairness oracle state (fairPolicy != "" arms it): WCET injectors are
+	// permanently backlogged symmetric masters of equal weight, so a
+	// fairness policy owes them near-equal grant counts — see violations.
+	fairPolicy string
+	tua        int
+	grants     []int64 // final per-master grant counts (overwritten per probe)
 }
 
 func newObserver(c *scenario.Compiled) *observer {
-	return &observer{maxHold: c.Config.Latency.MaxHold()}
+	o := &observer{maxHold: c.Config.Latency.MaxHold()}
+	// The fairness bound is only closed-form when the policy alone shapes
+	// the schedule: WCET injectors (always backlogged, uniform MaxL holds,
+	// weight 1 — only the TuA's workload entry can carry a weight) with no
+	// credit filter in front of the policy.
+	if c.Spec.Run == scenario.RunWCET && c.Config.Credit.Kind == sim.CreditOff {
+		switch c.Config.Policy {
+		case sim.PolicyPropFair, sim.PolicyGWF, sim.PolicyMTS:
+			o.fairPolicy = string(c.Config.Policy)
+			o.tua = c.TuA()
+			o.grants = make([]int64, c.Config.Cores)
+		}
+	}
+	return o
 }
 
 func (o *observer) probe(m *sim.Machine) {
 	b := m.Bus()
 	t := b.Cycle()
+
+	if o.grants != nil {
+		for i := range o.grants {
+			o.grants[i] = b.Stats(i).Grants
+		}
+	}
 
 	if o.conservation == nil {
 		fail := func(format string, args ...any) {
@@ -307,5 +339,40 @@ func (o *observer) violations(seed uint64) []Violation {
 	if o.credit != nil {
 		out = append(out, Violation{"credit", seed, *o.credit})
 	}
+	out = append(out, o.fairness(seed)...)
 	return out
+}
+
+// fairness is the fairness-bound oracle: on a credit-off WCET run under a
+// fairness-zoo policy, the contention injectors are symmetric — permanently
+// backlogged, identical MaxL holds, weight 1 — so the long-run grant counts
+// the policy hands them must be near-equal. The bound is the pairwise ratio
+// max/min ≤ 1.25; runs too short for the asymptotic claim (any injector
+// under 64 grants) are skipped rather than weakly asserted.
+func (o *observer) fairness(seed uint64) []Violation {
+	if o.fairPolicy == "" {
+		return nil
+	}
+	lo, hi := int64(-1), int64(-1)
+	loM, hiM := -1, -1
+	for i, g := range o.grants {
+		if i == o.tua {
+			continue
+		}
+		if lo < 0 || g < lo {
+			lo, loM = g, i
+		}
+		if g > hi {
+			hi, hiM = g, i
+		}
+	}
+	if lo < 64 {
+		return nil // too few grants for the asymptotic bound
+	}
+	if hi*4 > lo*5 { // hi/lo > 1.25
+		return []Violation{{"fairness", seed, fmt.Sprintf(
+			"%s starved a symmetric injector: master %d got %d grants, master %d got %d (ratio > 1.25)",
+			o.fairPolicy, hiM, hi, loM, lo)}}
+	}
+	return nil
 }

@@ -86,7 +86,7 @@ func TestGenerateValidAndCompilable(t *testing.T) {
 			t.Errorf("300 draws never produced credit kind %s", kind)
 		}
 	}
-	for _, p := range []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI"} {
+	for _, p := range []string{"RR", "FIFO", "TDMA", "LOT", "RP", "PRI", "PF", "GWF", "MTS"} {
 		if policies[p] == 0 {
 			t.Errorf("300 draws never produced policy %s", p)
 		}

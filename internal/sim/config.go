@@ -27,7 +27,22 @@ const (
 	PolicyLottery    PolicyKind = "LOT"
 	PolicyRandomPerm PolicyKind = "RP"
 	PolicyPriority   PolicyKind = "PRI"
+	// The fairness-policy zoo: proportional fair with EWMA rate averaging,
+	// general weighted fairness (start-time fair queueing over explicit
+	// rates) and the multi-timescale token-bucket profile.
+	PolicyPropFair PolicyKind = "PF"
+	PolicyGWF      PolicyKind = "GWF"
+	PolicyMTS      PolicyKind = "MTS"
 )
+
+// MaxWeight bounds per-core arbitration weights (Weights, LotteryTickets):
+// large enough for any realistic entitlement ratio, small enough that every
+// weighted integer product downstream stays far from overflow.
+const MaxWeight = 1 << 20
+
+// Timescale is one token bucket of an MTS bandwidth profile
+// (Config.MTSTimescales); see arbiter.Timescale.
+type Timescale = arbiter.Timescale
 
 // CreditKind selects the CBA configuration in front of the policy.
 type CreditKind string
@@ -88,6 +103,15 @@ type Config struct {
 	Policy PolicyKind
 	// LotteryTickets optionally weights the lottery policy.
 	LotteryTickets []int64
+	// Weights optionally weights the fairness-zoo policies (PF, GWF, MTS):
+	// one entitlement per core, each in [1, MaxWeight]. Nil means equal.
+	Weights []int64
+	// PFAvgShift sets the PF policy's EWMA coefficient β = 2^-shift
+	// (0 = the default shift 1, i.e. β = 0.5).
+	PFAvgShift int
+	// MTSTimescales overrides the MTS policy's token-bucket profile, fine
+	// to coarse (nil = arbiter.DefaultTimescales).
+	MTSTimescales []arbiter.Timescale
 
 	// Credit selects the CBA variant.
 	Credit CreditSpec
@@ -144,9 +168,51 @@ func (c Config) Validate() error {
 		return err
 	}
 	switch c.Policy {
-	case PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority:
+	case PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority,
+		PolicyPropFair, PolicyGWF, PolicyMTS:
 	default:
 		return fmt.Errorf("sim: unknown policy %q", c.Policy)
+	}
+	if len(c.Weights) != 0 {
+		switch c.Policy {
+		case PolicyPropFair, PolicyGWF, PolicyMTS:
+		default:
+			return fmt.Errorf("sim: Weights only apply to the PF/GWF/MTS policies, not %q", c.Policy)
+		}
+		if len(c.Weights) != c.Cores {
+			return fmt.Errorf("sim: %d Weights for %d cores", len(c.Weights), c.Cores)
+		}
+		for i, w := range c.Weights {
+			if w < 1 || w > MaxWeight {
+				return fmt.Errorf("sim: Weights[%d] = %d outside [1, %d]", i, w, MaxWeight)
+			}
+		}
+	}
+	if c.PFAvgShift != 0 {
+		if c.Policy != PolicyPropFair {
+			return fmt.Errorf("sim: PFAvgShift only applies to policy PF, not %q", c.Policy)
+		}
+		if c.PFAvgShift < 1 || c.PFAvgShift > 30 {
+			return fmt.Errorf("sim: PFAvgShift = %d outside [1, 30]", c.PFAvgShift)
+		}
+	}
+	if len(c.MTSTimescales) != 0 {
+		if c.Policy != PolicyMTS {
+			return fmt.Errorf("sim: MTSTimescales only apply to policy MTS, not %q", c.Policy)
+		}
+		if len(c.MTSTimescales) > 8 {
+			return fmt.Errorf("sim: %d MTSTimescales, need ≤ 8", len(c.MTSTimescales))
+		}
+		for i, ts := range c.MTSTimescales {
+			for _, f := range []struct {
+				name string
+				v    int64
+			}{{"Num", ts.Num}, {"Den", ts.Den}, {"Depth", ts.Depth}} {
+				if f.v < 1 || f.v > MaxWeight {
+					return fmt.Errorf("sim: MTSTimescales[%d].%s = %d outside [1, %d]", i, f.name, f.v, MaxWeight)
+				}
+			}
+		}
 	}
 	switch c.Credit.Kind {
 	case CreditOff, CreditCBA, CreditHCBAWeights, CreditHCBACap:
@@ -179,6 +245,12 @@ func (c Config) buildPolicy(seed uint64) arbiter.Policy {
 		return arbiter.NewRandomPermutation(c.Cores, seed)
 	case PolicyPriority:
 		return arbiter.NewFixedPriority(c.Cores)
+	case PolicyPropFair:
+		return arbiter.NewPropFair(c.Cores, c.Weights, c.PFAvgShift)
+	case PolicyGWF:
+		return arbiter.NewGWF(c.Cores, c.Weights)
+	case PolicyMTS:
+		return arbiter.NewMTS(c.Cores, c.Weights, c.MTSTimescales)
 	default:
 		panic("sim: buildPolicy on invalid config")
 	}

@@ -95,7 +95,8 @@ func diffCoRunner() cpu.Program {
 
 func TestDifferentialFastVsPerCycle(t *testing.T) {
 	policies := []PolicyKind{PolicyRoundRobin, PolicyFIFO, PolicyTDMA,
-		PolicyLottery, PolicyRandomPerm, PolicyPriority}
+		PolicyLottery, PolicyRandomPerm, PolicyPriority,
+		PolicyPropFair, PolicyGWF, PolicyMTS}
 	credits := []CreditKind{CreditOff, CreditCBA, CreditHCBAWeights, CreditHCBACap}
 	workloads := []string{"matrix", "cacheb", "tblook", "mixed"}
 	seeds := []uint64{11, 1234577, 987654321}
@@ -111,6 +112,11 @@ func TestDifferentialFastVsPerCycle(t *testing.T) {
 						base := DefaultConfig()
 						base.Policy = policy
 						base.Credit.Kind = credit
+						// Exercise the weighted paths of the fairness zoo.
+						switch policy {
+						case PolicyPropFair, PolicyGWF, PolicyMTS:
+							base.Weights = []int64{5, 1, 2, 1}
+						}
 
 						// WCET-estimation mode: Table I injectors.
 						slow, fast := base, base

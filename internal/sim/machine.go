@@ -140,6 +140,13 @@ func (m *Machine) Cycle() int64 { return m.cycle }
 // Bus exposes the shared bus (statistics, shares).
 func (m *Machine) Bus() *bus.Bus { return m.sharedBus }
 
+// SetGrantObserver installs (or, with nil, removes) a callback invoked for
+// every bus grant — the hook the fairness instrumentation hangs off.
+// Machine.Reuse rebuilds the bus configuration without an observer, so the
+// callback must be reinstalled after every Reuse (Runner.WorkloadsObserved
+// does exactly that).
+func (m *Machine) SetGrantObserver(fn func(bus.GrantEvent)) { m.sharedBus.SetOnGrant(fn) }
+
 // Credit exposes the CBA arbiter, or nil when CBA is off.
 func (m *Machine) Credit() *core.Arbiter { return m.credit }
 

@@ -66,11 +66,17 @@ func policyShapeEqual(a, b Config) bool {
 		// TDMA's slot width is MaxHold.
 		return a.Latency.MaxHold() == b.Latency.MaxHold()
 	case PolicyLottery:
-		if len(a.LotteryTickets) != len(b.LotteryTickets) {
+		return int64sEqual(a.LotteryTickets, b.LotteryTickets)
+	case PolicyPropFair:
+		return a.PFAvgShift == b.PFAvgShift && int64sEqual(a.Weights, b.Weights)
+	case PolicyGWF:
+		return int64sEqual(a.Weights, b.Weights)
+	case PolicyMTS:
+		if !int64sEqual(a.Weights, b.Weights) || len(a.MTSTimescales) != len(b.MTSTimescales) {
 			return false
 		}
-		for i := range a.LotteryTickets {
-			if a.LotteryTickets[i] != b.LotteryTickets[i] {
+		for i := range a.MTSTimescales {
+			if a.MTSTimescales[i] != b.MTSTimescales[i] {
 				return false
 			}
 		}
@@ -78,6 +84,18 @@ func policyShapeEqual(a, b Config) bool {
 	default:
 		return true
 	}
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Reuse reinitialises the machine in place as NewMachine(cfg, programs,

@@ -19,7 +19,7 @@ import (
 // flip between reusing components and rebuilding them.
 func reuseConfigs() []Config {
 	var out []Config
-	for _, pol := range []PolicyKind{PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority} {
+	for _, pol := range []PolicyKind{PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority, PolicyPropFair, PolicyGWF, PolicyMTS} {
 		for _, credit := range []CreditKind{CreditOff, CreditCBA, CreditHCBAWeights, CreditHCBACap} {
 			cfg := DefaultConfig()
 			cfg.Policy = pol
@@ -41,6 +41,22 @@ func reuseConfigs() []Config {
 	weighted.Policy = PolicyLottery
 	weighted.LotteryTickets = []int64{5, 1, 1, 1}
 	out = append(out, weighted)
+	// Weighted fairness-zoo variants with non-default knobs: each flips the
+	// matching policyShapeEqual branch (weights, EWMA shift, timescales).
+	wpf := DefaultConfig()
+	wpf.Policy = PolicyPropFair
+	wpf.Weights = []int64{4, 2, 1, 1}
+	wpf.PFAvgShift = 3
+	out = append(out, wpf)
+	wgwf := DefaultConfig()
+	wgwf.Policy = PolicyGWF
+	wgwf.Weights = []int64{1, 6, 1, 1}
+	out = append(out, wgwf)
+	wmts := DefaultConfig()
+	wmts.Policy = PolicyMTS
+	wmts.Weights = []int64{2, 1, 1, 2}
+	wmts.MTSTimescales = []Timescale{{Num: 1, Den: 32, Depth: 3}, {Num: 1, Den: 256, Depth: 20}}
+	out = append(out, wmts)
 	return out
 }
 
@@ -102,7 +118,7 @@ func TestReuseDifferentialSim(t *testing.T) {
 // consecutive Reuse+Run cycles on one machine equal two fresh runs, for
 // randomly drawn (policy, credit, seeds, engine) combinations.
 func TestReuseQuickProperty(t *testing.T) {
-	policies := []PolicyKind{PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority}
+	policies := []PolicyKind{PolicyRoundRobin, PolicyFIFO, PolicyTDMA, PolicyLottery, PolicyRandomPerm, PolicyPriority, PolicyPropFair, PolicyGWF, PolicyMTS}
 	credits := []CreditKind{CreditOff, CreditCBA, CreditHCBAWeights, CreditHCBACap}
 	prop := func(polIdx, creditIdx uint8, seed1, seed2 uint64, perCycle bool) bool {
 		cfg := DefaultConfig()

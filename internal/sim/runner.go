@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"creditbus/internal/bus"
 	"creditbus/internal/core"
 	"creditbus/internal/cpu"
 )
@@ -145,6 +146,47 @@ func (r *Runner) WorkloadsProbed(cfg Config, programs []cpu.Program, seed uint64
 		if probe != nil {
 			probe(m)
 		}
+	}
+	return m.result(cfg.TuA), nil
+}
+
+// WorkloadsObserved is Workloads with a per-grant observer: obs is invoked
+// for every bus grant of the run, in grant order, on the runner's goroutine.
+// The observer sees every grant — including injector and co-runner traffic —
+// which is what the fairness instrumentation (stats.Fairness) consumes. The
+// observer is detached before returning, so later runs on the same Runner
+// are unobserved unless re-requested.
+func (r *Runner) WorkloadsObserved(cfg Config, programs []cpu.Program, seed uint64, obs func(bus.GrantEvent)) (Result, error) {
+	cfg.Mode = core.OperationMode
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(programs) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs %d programs", cfg.Cores)
+	}
+	if programs[cfg.TuA] == nil {
+		return Result{}, fmt.Errorf("sim: RunWorkloads needs a program on the TuA core %d", cfg.TuA)
+	}
+	for i, p := range programs {
+		if p == nil {
+			continue
+		}
+		if emptyProgram(p) {
+			return Result{}, fmt.Errorf("sim: RunWorkloads: program on core %d is empty", i)
+		}
+	}
+	m, err := r.machine(cfg, programs, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	m.SetGrantObserver(obs)
+	defer m.SetGrantObserver(nil)
+	tua := m.cores[cfg.TuA]
+	for !tua.Done() {
+		if m.cycle >= DefaultLimit {
+			return Result{}, fmt.Errorf("sim: limit reached before TuA completion")
+		}
+		m.step(DefaultLimit)
 	}
 	return m.result(cfg.TuA), nil
 }

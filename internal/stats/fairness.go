@@ -1,0 +1,264 @@
+package stats
+
+import "fmt"
+
+// This file is the quantitative fairness toolkit: a streaming monitor that
+// folds a run's grant stream (master, start cycle, hold) into per-window
+// bandwidth shares and derives three families of metrics from them —
+//
+//   - windowed Jain trajectories: Jain's index of the per-master held-cycle
+//     shares inside each observation window, a time series exposing when a
+//     policy is fair on average but unfair at short timescales;
+//   - share error: the total-variation distance 0.5·Σ|share_i − entitle_i|
+//     between observed and entitled bandwidth shares, in [0, 1], both per
+//     window (worst/mean) and over the whole run;
+//   - starvation age: the longest span any master waited between two
+//     consecutive occupancies of the bus (or between run start/end and its
+//     nearest occupancy), the metric that catches policies that are fair in
+//     aggregate while locking a master out for long stretches.
+//
+// Windows holding no bus traffic at all are skipped rather than recorded:
+// an empty window has no shares to be fair or unfair about, and skipping it
+// is what makes the recorded Jain trajectory lie in [1/n, 1] universally.
+
+// FairnessReport is the digest of one run's grant stream.
+type FairnessReport struct {
+	// Masters is the population size n.
+	Masters int
+	// Window is the observation window width in cycles.
+	Window int64
+	// Grants and Held are per-master totals over the run.
+	Grants []int64
+	Held   []int64
+	// Share is each master's fraction of all held cycles (zero vector when
+	// the run held no traffic).
+	Share []float64
+	// Entitle is the normalised entitlement vector the shares are compared
+	// against (weights normalised to sum 1).
+	Entitle []float64
+	// ShareErr is the run-level total-variation distance between Share and
+	// Entitle, in [0, 1]: 0 = perfectly entitled, 1 = completely misdirected.
+	ShareErr float64
+	// Jain is the windowed Jain-index trajectory, one entry per non-empty
+	// window in time order, each in [1/n, 1].
+	Jain []float64
+	// JainOverall is Jain's index of the run-level shares.
+	JainOverall float64
+	// WindowShareErr is the per-window share-error trajectory, aligned
+	// with Jain.
+	WindowShareErr []float64
+	// MaxShareErr and MeanShareErr summarise WindowShareErr (0 when no
+	// window closed).
+	MaxShareErr  float64
+	MeanShareErr float64
+	// StarveAge is each master's longest grant-to-grant gap in cycles,
+	// including the leading gap from cycle 0 and the trailing gap to the
+	// end cycle handed to Finish.
+	StarveAge []int64
+	// MaxStarveAge is the worst StarveAge entry.
+	MaxStarveAge int64
+}
+
+// Fairness is the streaming monitor. Feed it the run's grants in cycle
+// order via OnGrant, then call Finish once with the run's end cycle to
+// close the last window and obtain the report. The zero value is not
+// usable; construct with NewFairness.
+type Fairness struct {
+	n       int
+	window  int64
+	entitle []float64
+
+	winStart int64
+	winHeld  []int64
+	winTotal int64
+
+	grants []int64
+	held   []int64
+	total  int64
+
+	last     []int64 // cycle each master's previous occupancy ended
+	starve   []int64
+	lastSeen int64 // latest grant-end observed, for Finish validation
+
+	jain     []float64
+	shareErr []float64
+
+	shares   []float64 // scratch
+	finished bool
+}
+
+// NewFairness builds a monitor over n masters with the given observation
+// window (in cycles) and entitlement weights (nil = equal; otherwise one
+// positive weight per master, normalised internally).
+func NewFairness(n int, window int64, weights []int64) *Fairness {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: NewFairness: n = %d, need > 0", n))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("stats: NewFairness: window = %d, need > 0", window))
+	}
+	f := &Fairness{
+		n:       n,
+		window:  window,
+		entitle: make([]float64, n),
+		winHeld: make([]int64, n),
+		grants:  make([]int64, n),
+		held:    make([]int64, n),
+		last:    make([]int64, n),
+		starve:  make([]int64, n),
+		shares:  make([]float64, n),
+	}
+	switch {
+	case weights == nil:
+		for i := range f.entitle {
+			f.entitle[i] = 1 / float64(n)
+		}
+	case len(weights) != n:
+		panic(fmt.Sprintf("stats: NewFairness: %d weights for %d masters", len(weights), n))
+	default:
+		var sum float64
+		for i, w := range weights {
+			if w < 1 {
+				panic(fmt.Sprintf("stats: NewFairness: weights[%d] = %d, need ≥ 1", i, w))
+			}
+			sum += float64(w)
+		}
+		for i, w := range weights {
+			f.entitle[i] = float64(w) / sum
+		}
+	}
+	return f
+}
+
+// OnGrant folds one grant into the monitor: master m occupied the bus for
+// hold cycles starting at cycle. Grants must arrive in non-decreasing start
+// order (the order the bus emits them). Held cycles spanning a window
+// boundary are split across the windows they fall in.
+func (f *Fairness) OnGrant(m int, cycle, hold int64) {
+	if f.finished {
+		panic("stats: Fairness.OnGrant after Finish")
+	}
+	if m < 0 || m >= f.n {
+		panic(fmt.Sprintf("stats: Fairness.OnGrant: master %d of %d", m, f.n))
+	}
+	if hold < 1 {
+		panic(fmt.Sprintf("stats: Fairness.OnGrant: hold = %d, need ≥ 1", hold))
+	}
+	if cycle < f.winStart {
+		panic(fmt.Sprintf("stats: Fairness.OnGrant: cycle %d precedes the open window at %d", cycle, f.winStart))
+	}
+	if age := cycle - f.last[m]; age > f.starve[m] {
+		f.starve[m] = age
+	}
+	f.grants[m]++
+	end := cycle + hold
+	f.last[m] = end
+	if end > f.lastSeen {
+		f.lastSeen = end
+	}
+	for pos := cycle; pos < end; {
+		f.advanceTo(pos)
+		chunk := f.winStart + f.window - pos
+		if rest := end - pos; rest < chunk {
+			chunk = rest
+		}
+		f.winHeld[m] += chunk
+		f.held[m] += chunk
+		f.winTotal += chunk
+		f.total += chunk
+		pos += chunk
+	}
+}
+
+// advanceTo closes windows until cycle falls inside the open one. Non-empty
+// windows are recorded; runs of empty windows are skipped in one hop.
+func (f *Fairness) advanceTo(cycle int64) {
+	for cycle >= f.winStart+f.window {
+		if f.winTotal > 0 {
+			f.closeWindow()
+			f.winStart += f.window
+		} else {
+			f.winStart += (cycle - f.winStart) / f.window * f.window
+		}
+	}
+}
+
+// closeWindow records the open window's Jain index and share error and
+// clears it. Only called with winTotal > 0.
+func (f *Fairness) closeWindow() {
+	for i, h := range f.winHeld {
+		f.shares[i] = float64(h) / float64(f.winTotal)
+		f.winHeld[i] = 0
+	}
+	f.winTotal = 0
+	f.jain = append(f.jain, JainIndex(f.shares))
+	f.shareErr = append(f.shareErr, tvDistance(f.shares, f.entitle))
+}
+
+// Finish closes the monitor at the run's end cycle and returns the report.
+// The end cycle must be at or past every observed grant's completion; the
+// trailing idle span counts toward each master's starvation age.
+func (f *Fairness) Finish(end int64) FairnessReport {
+	if f.finished {
+		panic("stats: Fairness.Finish called twice")
+	}
+	if end < f.lastSeen {
+		panic(fmt.Sprintf("stats: Fairness.Finish(%d) precedes the last grant end %d", end, f.lastSeen))
+	}
+	f.finished = true
+	if f.winTotal > 0 {
+		f.closeWindow()
+	}
+	rep := FairnessReport{
+		Masters: f.n,
+		Window:  f.window,
+		Grants:  f.grants,
+		Held:    f.held,
+		Share:   make([]float64, f.n),
+		Entitle: f.entitle,
+		Jain:    f.jain,
+		// Finish owns the monitor's slices now; no further mutation.
+		WindowShareErr: f.shareErr,
+		StarveAge:      f.starve,
+	}
+	for m := range f.starve {
+		if age := end - f.last[m]; age > f.starve[m] {
+			f.starve[m] = age
+		}
+		if f.starve[m] > rep.MaxStarveAge {
+			rep.MaxStarveAge = f.starve[m]
+		}
+	}
+	if f.total > 0 {
+		for i, h := range f.held {
+			rep.Share[i] = float64(h) / float64(f.total)
+		}
+		rep.JainOverall = JainIndex(rep.Share)
+		rep.ShareErr = tvDistance(rep.Share, f.entitle)
+	}
+	var sum float64
+	for _, e := range f.shareErr {
+		sum += e
+		if e > rep.MaxShareErr {
+			rep.MaxShareErr = e
+		}
+	}
+	if len(f.shareErr) > 0 {
+		rep.MeanShareErr = sum / float64(len(f.shareErr))
+	}
+	return rep
+}
+
+// tvDistance is the total-variation distance 0.5·Σ|a_i − b_i| between two
+// share vectors, in [0, 1] when both sum to ≤ 1.
+func tvDistance(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if diff := a[i] - b[i]; diff >= 0 {
+			d += diff
+		} else {
+			d -= diff
+		}
+	}
+	return d / 2
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"creditbus/internal/rng"
+)
+
+// TestFairnessWindowedJainRange is the range property: over random grant
+// streams — random masters, holds, idle gaps, window widths — every
+// recorded windowed Jain index lies in [1/n, 1], and so do the trajectory
+// summaries. Empty windows are skipped, which is exactly what makes the
+// lower bound hold.
+func TestFairnessWindowedJainRange(t *testing.T) {
+	src := rng.New(41)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(12)
+		window := int64(1 + src.Intn(300))
+		f := NewFairness(n, window, nil)
+		cycle := int64(src.Intn(50))
+		for g, grants := 0, 1+src.Intn(120); g < grants; g++ {
+			hold := int64(1 + src.Intn(60))
+			f.OnGrant(src.Intn(n), cycle, hold)
+			cycle += hold
+			if src.Intn(3) == 0 {
+				cycle += int64(src.Intn(2000)) // long idle gaps: empty windows
+			}
+		}
+		rep := f.Finish(cycle + int64(src.Intn(100)))
+		lo := 1/float64(n) - 1e-12
+		for i, j := range rep.Jain {
+			if j < lo || j > 1+1e-12 {
+				t.Fatalf("trial %d: window %d Jain = %v outside [1/%d, 1]", trial, i, j, n)
+			}
+		}
+		if len(rep.Jain) > 0 && (rep.JainOverall < lo || rep.JainOverall > 1+1e-12) {
+			t.Fatalf("trial %d: overall Jain = %v outside [1/%d, 1]", trial, rep.JainOverall, n)
+		}
+		for i, e := range rep.WindowShareErr {
+			if e < 0 || e > 1+1e-12 {
+				t.Fatalf("trial %d: window %d share error = %v outside [0, 1]", trial, i, e)
+			}
+		}
+	}
+}
+
+// TestFairnessPerfectEntitlement: a trace that hands every master exactly
+// its entitled share inside every window has zero share error everywhere
+// and a flat trajectory.
+func TestFairnessPerfectEntitlement(t *testing.T) {
+	// Weights 3:1 over 2 masters, window 64: per window master 0 holds 48
+	// cycles, master 1 holds 16 — exactly the 3/4 : 1/4 entitlement.
+	f := NewFairness(2, 64, []int64{3, 1})
+	cycle := int64(0)
+	for w := 0; w < 10; w++ {
+		f.OnGrant(0, cycle, 48)
+		cycle += 48
+		f.OnGrant(1, cycle, 16)
+		cycle += 16
+	}
+	rep := f.Finish(cycle)
+	if len(rep.Jain) != 10 {
+		t.Fatalf("recorded %d windows, want 10", len(rep.Jain))
+	}
+	if rep.ShareErr != 0 || rep.MaxShareErr != 0 || rep.MeanShareErr != 0 {
+		t.Fatalf("perfectly entitled trace: ShareErr=%v Max=%v Mean=%v, want all 0",
+			rep.ShareErr, rep.MaxShareErr, rep.MeanShareErr)
+	}
+	for i, e := range rep.WindowShareErr {
+		if e != 0 {
+			t.Fatalf("window %d share error = %v, want 0", i, e)
+		}
+	}
+	// 3:1 shares have Jain (0.75+0.25)^2 / (2·(0.5625+0.0625)) = 0.8.
+	for i, j := range rep.Jain {
+		if math.Abs(j-0.8) > 1e-12 {
+			t.Fatalf("window %d Jain = %v, want 0.8", i, j)
+		}
+	}
+}
+
+// TestFairnessStarvationResets: the starvation age is the longest single
+// gap between occupancies, not an accumulation — every grant resets the
+// open gap, and leading/trailing idle spans count.
+func TestFairnessStarvationResets(t *testing.T) {
+	f := NewFairness(3, 100, nil)
+	// Master 0: granted at 90, 190, ..., 990 (gap 90 between occupancies).
+	// Master 1: granted once at 500 (leading gap 500, trailing 1200-510).
+	// Master 2: never granted (gap = full span).
+	for c := int64(90); c < 1000; c += 100 {
+		f.OnGrant(0, c, 10)
+		if c == 490 {
+			f.OnGrant(1, 500, 10)
+		}
+	}
+	rep := f.Finish(1200)
+	if got := rep.StarveAge[0]; got != 200 {
+		// Last occupancy of master 0 ends at 1000; trailing gap = 200 > the
+		// steady 90-cycle inter-grant gap.
+		t.Fatalf("StarveAge[0] = %d, want 200", got)
+	}
+	if got := rep.StarveAge[1]; got != 690 {
+		t.Fatalf("StarveAge[1] = %d, want 690 (trailing 1200-510)", got)
+	}
+	if got := rep.StarveAge[2]; got != 1200 {
+		t.Fatalf("StarveAge[2] = %d, want 1200", got)
+	}
+	if rep.MaxStarveAge != 1200 {
+		t.Fatalf("MaxStarveAge = %d, want 1200", rep.MaxStarveAge)
+	}
+	// With a regular 100-cycle grant cadence the steady-state age never
+	// accumulates: re-run master 0's cadence alone over 10× the span and the
+	// max gap stays put at the trailing value.
+	g := NewFairness(1, 100, nil)
+	for c := int64(90); c < 10000; c += 100 {
+		g.OnGrant(0, c, 10)
+	}
+	if got := g.Finish(10000).StarveAge[0]; got != 90 {
+		t.Fatalf("steady cadence StarveAge = %d, want 90", got)
+	}
+}
+
+// TestFairnessWindowSplit: a hold spanning window boundaries is split
+// across the windows its cycles fall in.
+func TestFairnessWindowSplit(t *testing.T) {
+	f := NewFairness(2, 10, nil)
+	f.OnGrant(0, 5, 10) // cycles 5..14: 5 in window [0,10), 5 in [10,20)
+	f.OnGrant(1, 15, 5) // cycles 15..19: window [10,20)
+	rep := f.Finish(20)
+	if len(rep.Jain) != 2 {
+		t.Fatalf("recorded %d windows, want 2", len(rep.Jain))
+	}
+	if rep.Jain[0] != 0.5 {
+		t.Fatalf("window 0 Jain = %v, want 0.5 (one master holds all 5 cycles)", rep.Jain[0])
+	}
+	if rep.Jain[1] != 1 {
+		t.Fatalf("window 1 Jain = %v, want 1 (5/5 split)", rep.Jain[1])
+	}
+	if rep.Held[0] != 10 || rep.Held[1] != 5 {
+		t.Fatalf("Held = %v, want [10 5]", rep.Held)
+	}
+}
+
+// TestFairnessContractPanics: constructor and stream misuse panic loudly,
+// mirroring Exact.Add's negative-sample contract.
+func TestFairnessContractPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"zero-n", func() { NewFairness(0, 10, nil) }},
+		{"zero-window", func() { NewFairness(2, 0, nil) }},
+		{"weight-count", func() { NewFairness(2, 10, []int64{1}) }},
+		{"weight-zero", func() { NewFairness(2, 10, []int64{1, 0}) }},
+		{"master-range", func() { NewFairness(2, 10, nil).OnGrant(2, 0, 1) }},
+		{"zero-hold", func() { NewFairness(2, 10, nil).OnGrant(0, 0, 0) }},
+		{"regressing-cycle", func() {
+			f := NewFairness(2, 10, nil)
+			f.OnGrant(0, 50, 1)
+			f.OnGrant(1, 3, 1)
+		}},
+		{"double-finish", func() {
+			f := NewFairness(2, 10, nil)
+			f.Finish(0)
+			f.Finish(0)
+		}},
+		{"grant-after-finish", func() {
+			f := NewFairness(2, 10, nil)
+			f.Finish(0)
+			f.OnGrant(0, 0, 1)
+		}},
+		{"early-finish", func() {
+			f := NewFairness(2, 10, nil)
+			f.OnGrant(0, 0, 8)
+			f.Finish(4)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.run()
+		})
+	}
+}

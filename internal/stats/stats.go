@@ -126,12 +126,19 @@ func Percentile(xs []float64, p float64) float64 {
 // JainIndex computes Jain's fairness index of the shares:
 // (sum x)^2 / (n * sum x^2). It is 1.0 for perfectly equal shares and 1/n
 // when a single contender takes everything. Returns 0 if all shares are zero.
+// Shares are allocations — a negative share has no meaning and would also
+// silently break the [1/n, 1] range (negative terms cancel in the numerator
+// but not in the sum of squares), so negative inputs panic, matching
+// Exact.Add's contract for negative samples.
 func JainIndex(shares []float64) float64 {
 	if len(shares) == 0 {
 		return 0
 	}
 	var sum, sumsq float64
-	for _, x := range shares {
+	for i, x := range shares {
+		if x < 0 {
+			panic(fmt.Sprintf("stats: JainIndex: shares[%d] = %v: negative share", i, x))
+		}
 		sum += x
 		sumsq += x * x
 	}

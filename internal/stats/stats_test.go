@@ -131,6 +131,23 @@ func TestJainIndex(t *testing.T) {
 	}
 }
 
+// A negative share is a caller bug — it silently pushes the index outside
+// [1/n, 1] — so JainIndex rejects it with a panic, like Exact.Add does for
+// negative samples.
+func TestJainIndexRejectsNegativeShares(t *testing.T) {
+	for _, shares := range [][]float64{{-1}, {1, -0.5, 2}, {0, 0, -0.0001}} {
+		shares := shares
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("JainIndex(%v) did not panic", shares)
+				}
+			}()
+			JainIndex(shares)
+		}()
+	}
+}
+
 func TestJainIndexRange(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
