@@ -67,6 +67,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheSize = fs.Int("cache-size", service.DefaultCacheSize, "result cache capacity in (spec, seed) entries")
 		jobsDir   = fs.String("jobs-dir", "cbad-jobs", "campaign job store directory (empty disables /v1/jobs)")
 		jobEvery  = fs.Int64("job-checkpoint-every", 0, "job checkpoint interval in units (0 = default)")
+
+		runTimeout   = fs.Duration("run-timeout", 60*time.Second, "server-side /v1/run deadline (0 disables)")
+		chunkTimeout = fs.Duration("chunk-timeout", 10*time.Minute, "job chunk execution deadline (0 disables)")
+		maxRuns      = fs.Int("max-runs", 0, "concurrent /v1/run handlers before shedding with 503 (0 = workers*4+queue)")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
+		readTimeout       = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTimeout      = fs.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (must exceed -run-timeout)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+		shutdownTimeout   = fs.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline before abandoning connections")
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -76,9 +86,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	if *runTimeout > 0 && *writeTimeout > 0 && *writeTimeout <= *runTimeout {
+		return fmt.Errorf("-write-timeout %v must exceed -run-timeout %v, or the connection dies before the 504 is written", *writeTimeout, *runTimeout)
+	}
+
 	srv, err := service.New(service.Options{
 		Workers: *workers, Queue: *queue, CacheSize: *cacheSize,
 		JobsDir: *jobsDir, JobCheckpointEvery: *jobEvery,
+		RunTimeout: *runTimeout, JobChunkTimeout: *chunkTimeout,
+		MaxConcurrentRuns: *maxRuns,
 	})
 	if err != nil {
 		return err
@@ -89,20 +105,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	st := srv.Snapshot()
-	fmt.Fprintf(stdout, "cbad: listening on %s (workers=%d queue=%d cache-size=%d)\n",
-		ln.Addr(), st.Workers, st.QueueCapacity, st.CacheCapacity)
+	fmt.Fprintf(stdout, "cbad: listening on %s (workers=%d queue=%d cache-size=%d run-timeout=%v)\n",
+		ln.Addr(), st.Workers, st.QueueCapacity, st.CacheCapacity, *runTimeout)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// Every connection phase is bounded: a slow (or hostile) client can no
+	// longer hold a connection open indefinitely in any state.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case <-ctx.Done():
-		// Graceful: stop accepting, let in-flight requests finish, drain
-		// the simulation pool.
-		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful: stop accepting, let in-flight requests finish within the
+		// drain deadline, then abandon the stragglers rather than hang the
+		// shutdown forever.
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
-		_ = hs.Shutdown(shctx)
+		if err := hs.Shutdown(shctx); err != nil {
+			fmt.Fprintf(stdout, "cbad: drain abandoned after %v (%v); closing remaining connections\n", *shutdownTimeout, err)
+			_ = hs.Close()
+		}
 		srv.Close()
 		fmt.Fprintln(stdout, "cbad: shut down")
 		return nil

@@ -43,6 +43,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(ctx, []string{"-addr", "256.0.0.1:bad"}, &out); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+	// A write timeout at or below the run deadline would kill the
+	// connection before the 504 envelope could be written.
+	if err := run(ctx, []string{"-run-timeout", "30s", "-write-timeout", "30s"}, &out); err == nil {
+		t.Fatal("write-timeout <= run-timeout accepted")
+	}
+	if err := run(ctx, []string{"-run-timeout", "2m", "-write-timeout", "1m"}, &out); err == nil {
+		t.Fatal("write-timeout < run-timeout accepted")
+	}
 }
 
 // TestRunServesAndShutsDown boots the daemon on an ephemeral port, submits

@@ -11,6 +11,11 @@
 // compared byte-for-byte against a direct in-process library run — the
 // end-to-end proof that serving results through the daemon changes nothing.
 //
+// Transient failures — 429 throttles, 5xx responses and transport errors —
+// are retried with capped exponential backoff and deterministic seeded
+// jitter (-retries, -backoff, -retry-seed); the summary reports the total
+// retry count and retries per request.
+//
 // Usage:
 //
 //	cbaload -addr http://127.0.0.1:8437 -requests 64 -concurrency 8 -verify
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -38,6 +44,10 @@ import (
 	"creditbus/internal/stats"
 )
 
+// sleepFn is the backoff sleep; tests stub it to assert the exact delay
+// sequence without waiting it out.
+var sleepFn = time.Sleep
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cbaload:", err)
@@ -47,18 +57,24 @@ func main() {
 
 // summary is the machine-readable load report (-json).
 type summary struct {
-	Requests    int     `json:"requests"`
-	OK          int     `json:"ok"`
-	Throttled   int     `json:"throttled"`
-	Errors      int     `json:"errors"`
-	DistinctRun int     `json:"distinct_specs"`
-	Duration    float64 `json:"duration_sec"`
-	Throughput  float64 `json:"requests_per_sec"`
-	P50Ms       float64 `json:"latency_p50_ms"`
-	P99Ms       float64 `json:"latency_p99_ms"`
-	MaxMs       float64 `json:"latency_max_ms"`
-	Verified    int     `json:"verified_specs"`
-	HitRate     float64 `json:"hit_rate"`
+	Requests  int `json:"requests"`
+	OK        int `json:"ok"`
+	Throttled int `json:"throttled"`
+	Errors    int `json:"errors"`
+	// Retries counts retry attempts across all requests: throttles (429),
+	// server errors (5xx) and transport failures that were re-submitted
+	// after a backoff. A request's terminal outcome is tallied once, in
+	// OK/Throttled/Errors, regardless of how many retries preceded it.
+	Retries           int     `json:"retries"`
+	RetriesPerRequest float64 `json:"retries_per_request"`
+	DistinctRun       int     `json:"distinct_specs"`
+	Duration          float64 `json:"duration_sec"`
+	Throughput        float64 `json:"requests_per_sec"`
+	P50Ms             float64 `json:"latency_p50_ms"`
+	P99Ms             float64 `json:"latency_p99_ms"`
+	MaxMs             float64 `json:"latency_max_ms"`
+	Verified          int     `json:"verified_specs"`
+	HitRate           float64 `json:"hit_rate"`
 	// ErrorCodes tallies the typed error-envelope codes of every non-200
 	// response (e.g. "queue_full" for throttles); "" counts responses
 	// without a parseable envelope.
@@ -81,6 +97,9 @@ func run(args []string, stdout io.Writer) error {
 		requireHit  = fs.Bool("require-hit", false, "fail when the server reports zero cache hits")
 		jsonOut     = fs.Bool("json", false, "print the summary as JSON")
 		timeout     = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+		retries     = fs.Int("retries", 3, "retry budget per request for 429/5xx/transport failures (0 disables)")
+		backoff     = fs.Duration("backoff", 25*time.Millisecond, "base retry backoff; doubles per attempt, capped, jittered")
+		retrySeed   = fs.Uint64("retry-seed", 1, "deterministic jitter seed (per-worker: seed+worker index)")
 	)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +111,9 @@ func run(args []string, stdout io.Writer) error {
 	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 || *seeds <= 0 {
 		return fmt.Errorf("requests, concurrency, distinct and seeds must all be positive")
 	}
+	if *retries < 0 || *backoff < 0 {
+		return fmt.Errorf("retries and backoff must be non-negative")
+	}
 
 	specs, err := buildSpecs(strings.Split(*profiles, ","), *distinct, *cores, *seeds, *ops)
 	if err != nil {
@@ -100,14 +122,15 @@ func run(args []string, stdout io.Writer) error {
 
 	client := &http.Client{Timeout: *timeout}
 	var (
-		mu         sync.Mutex
-		latencies  []float64 // milliseconds
-		okCount    int
-		throttled  int
-		errCount   int
-		firstErr   error
-		errorCodes = map[string]int{}
-		captured   = make([]*service.RunResponse, len(specs))
+		mu           sync.Mutex
+		latencies    []float64 // milliseconds
+		okCount      int
+		throttled    int
+		errCount     int
+		retriesTotal int
+		firstErr     error
+		errorCodes   = map[string]int{}
+		captured     = make([]*service.RunResponse, len(specs))
 	)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -116,9 +139,19 @@ func run(args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker gets its own deterministic jitter stream, so a
+			// given (seed, concurrency, schedule) replays the same delays.
+			rng := rand.New(rand.NewSource(int64(*retrySeed) + int64(w)))
 			for i := range jobs {
 				si := i % len(specs)
 				rr, code, apiErr, d, err := submit(client, *addr, specs[si])
+				for attempt := 0; attempt < *retries && retryable(code, err); attempt++ {
+					sleepFn(backoffDelay(*backoff, attempt, rng))
+					mu.Lock()
+					retriesTotal++
+					mu.Unlock()
+					rr, code, apiErr, d, err = submit(client, *addr, specs[si])
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -170,15 +203,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	sum := summary{
-		Requests:    *requests,
-		OK:          okCount,
-		Throttled:   throttled,
-		Errors:      errCount,
-		DistinctRun: len(specs),
-		Duration:    elapsed.Seconds(),
-		Throughput:  float64(*requests) / elapsed.Seconds(),
-		Verified:    verified,
-		Server:      stats,
+		Requests:          *requests,
+		OK:                okCount,
+		Throttled:         throttled,
+		Errors:            errCount,
+		Retries:           retriesTotal,
+		RetriesPerRequest: float64(retriesTotal) / float64(*requests),
+		DistinctRun:       len(specs),
+		Duration:          elapsed.Seconds(),
+		Throughput:        float64(*requests) / elapsed.Seconds(),
+		Verified:          verified,
+		Server:            stats,
 	}
 	if len(errorCodes) > 0 {
 		sum.ErrorCodes = errorCodes
@@ -197,6 +232,7 @@ func run(args []string, stdout io.Writer) error {
 	} else {
 		fmt.Fprintf(stdout, "cbaload: %d requests (%d ok, %d throttled, %d errors) over %d distinct specs in %.2fs = %.1f req/s\n",
 			sum.Requests, sum.OK, sum.Throttled, sum.Errors, sum.DistinctRun, sum.Duration, sum.Throughput)
+		fmt.Fprintf(stdout, "cbaload: retries %d (%.2f per request)\n", sum.Retries, sum.RetriesPerRequest)
 		fmt.Fprintf(stdout, "cbaload: latency p50 %.2fms p99 %.2fms max %.2fms\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
 		fmt.Fprintf(stdout, "cbaload: server hits=%d misses=%d coalesced=%d executions=%d hit-rate %.1f%%\n",
 			stats.Hits, stats.Misses, stats.Coalesced, stats.Executions, 100*sum.HitRate)
@@ -306,6 +342,35 @@ func submit(client *http.Client, addr string, sp scenario.Spec) (*service.RunRes
 		return nil, resp.StatusCode, nil, d, fmt.Errorf("decode response: %w", err)
 	}
 	return &rr, resp.StatusCode, nil, d, nil
+}
+
+// retryable reports whether an attempt's outcome is worth re-submitting:
+// transport failures, throttles (429) and server-side errors (5xx). 4xx
+// other than 429 means the request itself is bad — retrying cannot help.
+func retryable(code int, err error) bool {
+	return err != nil || code == http.StatusTooManyRequests || code >= http.StatusInternalServerError
+}
+
+// backoffDelay is the sleep before retry number attempt (0-based):
+// exponential base<<attempt, capped at 32×base and a 5s ceiling, with
+// deterministic half-jitter — a uniform draw from [d/2, d] so concurrent
+// workers desynchronise instead of stampeding the daemon in lockstep.
+func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 5 {
+		attempt = 5 // 32×base cap
+	}
+	d := base << uint(attempt)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // apiErrCode maps a decoded envelope to its tally key ("" when the

@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"math"
+	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"creditbus/internal/service"
 	"creditbus/internal/stats"
@@ -27,10 +32,44 @@ func startDaemon(t *testing.T, opts service.Options) *httptest.Server {
 	return hs
 }
 
+// stubSleep replaces the backoff sleep with a recorder for the duration of
+// one test. Not safe for parallel tests (package-level state).
+func stubSleep(t *testing.T) *sleepRecorder {
+	t.Helper()
+	rec := &sleepRecorder{}
+	prev := sleepFn
+	sleepFn = rec.sleep
+	t.Cleanup(func() { sleepFn = prev })
+	return rec
+}
+
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	r.delays = append(r.delays, d)
+	r.mu.Unlock()
+}
+
+func (r *sleepRecorder) recorded() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.delays...)
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-retries", "-1"}, &out); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	if err := run([]string{"-backoff", "-1s"}, &out); err == nil {
+		t.Fatal("negative backoff accepted")
 	}
 	if err := run([]string{"positional"}, &out); err == nil {
 		t.Fatal("positional argument accepted")
@@ -92,7 +131,7 @@ func TestLoadJSONSummary(t *testing.T) {
 	if err := run(args, &out); err != nil {
 		t.Fatalf("%v\n%s", err, out.String())
 	}
-	for _, want := range []string{`"requests": 6`, `"errors": 0`, `"hit_rate"`, `"server_stats"`} {
+	for _, want := range []string{`"requests": 6`, `"errors": 0`, `"retries": 0`, `"retries_per_request": 0`, `"hit_rate"`, `"server_stats"`} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("JSON summary lacks %s:\n%s", want, out.String())
 		}
@@ -126,6 +165,124 @@ func TestRequireHitFailsCold(t *testing.T) {
 	err := run(args, &out)
 	if err == nil || !strings.Contains(err.Error(), "zero cache hits") {
 		t.Fatalf("cold cache passed -require-hit: %v", err)
+	}
+}
+
+// flakyDaemon fronts the real service handler with an injector that answers
+// the first fail429 /v1/run submissions with a throttle envelope before
+// letting traffic through — the shape of a daemon briefly over capacity.
+func flakyDaemon(t *testing.T, opts service.Options, fail429 int32) *httptest.Server {
+	t.Helper()
+	srv, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/run" && atomic.AddInt32(&failed, 1) <= fail429 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"code":"queue_full","message":"injected throttle"}`))
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return hs
+}
+
+// TestRetryRecoversFromThrottle: a burst of injected 429s is absorbed by the
+// retry loop — every request ends OK, the retries are reported, and the
+// backoff delays are exactly the deterministic sequence for the seed.
+func TestRetryRecoversFromThrottle(t *testing.T) {
+	rec := stubSleep(t)
+	hs := flakyDaemon(t, service.Options{Workers: 2}, 2)
+	var out bytes.Buffer
+	args := []string{
+		"-addr", hs.URL,
+		"-requests", "4", "-concurrency", "1",
+		"-profiles", "ue-web", "-distinct", "1", "-cores", "4", "-ops", "120",
+		"-retries", "3", "-backoff", "40ms", "-retry-seed", "7",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("load with retries failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "4 requests (4 ok, 0 throttled, 0 errors)") {
+		t.Fatalf("retries did not absorb the throttles:\n%s", text)
+	}
+	if !strings.Contains(text, "retries 2 (0.50 per request)") {
+		t.Fatalf("retry accounting:\n%s", text)
+	}
+	// Single worker, seed 7+0: the first request eats both injected 429s,
+	// so the delays are attempts 0 and 1 of a fresh jitter stream.
+	rng := rand.New(rand.NewSource(7))
+	want := []time.Duration{backoffDelay(40*time.Millisecond, 0, rng), backoffDelay(40*time.Millisecond, 1, rng)}
+	got := rec.recorded()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoff delays = %v, want deterministic %v", got, want)
+	}
+}
+
+// TestRetryExhaustedStillThrottled: when the daemon never stops throttling,
+// the retry budget runs out and the terminal 429 is tallied as throttled —
+// retrying changes the accounting only when it changes the outcome.
+func TestRetryExhaustedStillThrottled(t *testing.T) {
+	rec := stubSleep(t)
+	hs := flakyDaemon(t, service.Options{Workers: 2}, 1<<30)
+	var out bytes.Buffer
+	args := []string{
+		"-addr", hs.URL,
+		"-requests", "2", "-concurrency", "1",
+		"-profiles", "ue-web", "-distinct", "1", "-cores", "4", "-ops", "120",
+		"-retries", "2", "-backoff", "10ms",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("throttled load must not be a hard failure: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "2 requests (0 ok, 2 throttled, 0 errors)") {
+		t.Fatalf("terminal throttles miscounted:\n%s", text)
+	}
+	if !strings.Contains(text, "retries 4 (2.00 per request)") {
+		t.Fatalf("exhausted budget accounting:\n%s", text)
+	}
+	if !strings.Contains(text, "queue_full=2") {
+		t.Fatalf("error-code tally should count terminal outcomes only:\n%s", text)
+	}
+	if got := rec.recorded(); len(got) != 4 {
+		t.Fatalf("slept %d times, want 4 (2 requests × 2 retries)", len(got))
+	}
+}
+
+// TestBackoffDelayDeterministicCapped pins the backoff schedule: identical
+// seeds replay identical delays, every delay sits in [d/2, d], growth is
+// capped at 32×base and hard-capped at 5s, and zero base disables sleeping.
+func TestBackoffDelayDeterministicCapped(t *testing.T) {
+	a, b := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	base := 40 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := backoffDelay(base, attempt, a), backoffDelay(base, attempt, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		exp := base << uint(min(attempt, 5))
+		if exp > 5*time.Second {
+			exp = 5 * time.Second
+		}
+		if da < exp/2 || da > exp {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, da, exp/2, exp)
+		}
+	}
+	// 1s base: attempt 3 would be 8s — the 5s ceiling must win.
+	if d := backoffDelay(time.Second, 3, a); d > 5*time.Second {
+		t.Fatalf("hard cap breached: %v", d)
+	}
+	if d := backoffDelay(0, 4, a); d != 0 {
+		t.Fatalf("zero base slept %v", d)
 	}
 }
 

@@ -77,7 +77,7 @@ func runCampaign(cf campaignFlags, stdout io.Writer) error {
 		return emitReport(rep, cf.report, stdout)
 
 	case cf.merge:
-		st, err := openStore(cf, camp)
+		st, err := openStore(cf, camp, stdout)
 		if err != nil {
 			return err
 		}
@@ -88,7 +88,7 @@ func runCampaign(cf campaignFlags, stdout io.Writer) error {
 		return emitReport(rep, cf.report, stdout)
 
 	default:
-		st, err := openStore(cf, camp)
+		st, err := openStore(cf, camp, stdout)
 		if err != nil {
 			return err
 		}
@@ -117,11 +117,18 @@ func runCampaign(cf campaignFlags, stdout io.Writer) error {
 	}
 }
 
-func openStore(cf campaignFlags, camp *shard.Campaign) (*shard.Store, error) {
+func openStore(cf campaignFlags, camp *shard.Campaign, stdout io.Writer) (*shard.Store, error) {
 	if cf.ckptDir == "" {
 		return nil, fmt.Errorf("-checkpoint is required with -shard/-merge")
 	}
-	return shard.Open(cf.ckptDir, camp.Manifest())
+	// Quarantines are loud: an operator watching a worker's output sees
+	// exactly which checkpoint generation was set aside and why, instead of
+	// silently re-simulating the lost chunk.
+	return shard.OpenWith(cf.ckptDir, camp.Manifest(), shard.StoreOptions{
+		OnQuarantine: func(path, reason string) {
+			fmt.Fprintf(stdout, "checkpoint quarantined: %s (%s)\n", path, reason)
+		},
+	})
 }
 
 // emitReport writes the canonical report bytes to dest ("-" = stdout).

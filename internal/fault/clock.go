@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the injectable time source behind deadline and backoff paths:
+// production code takes a Clock, tests drive a FakeClock, and nothing
+// sleeps for real in a unit test.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	// After returns a channel that fires once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// WallClock is the real time.Now/time.Sleep/time.After clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time { return time.Now() }
+
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually-advanced clock: time moves only when Advance is
+// called, and every waiter whose deadline is reached fires. Sleep blocks
+// until an Advance covers it, so test goroutines synchronise on simulated
+// time instead of real delays.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline has
+// been reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []fakeWaiter
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports the number of pending After/Sleep waiters — tests use it
+// to know a deadline path has armed before advancing.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,95 @@
+// Package fault is the deterministic fault-injection layer under the
+// platform's durability and timeout paths. It has two halves:
+//
+//   - FS, a narrow filesystem interface covering every operation the
+//     checkpoint store and job store perform (read, atomic temp+fsync+rename
+//     write, rename, remove, readdir, stat, directory sync), with OS as the
+//     passthrough implementation and Injector as a seeded wrapper that
+//     injects crash-at-op-K, torn writes, ENOSPC, EIO and bit-flips on read
+//     at exact, reproducible operation counts;
+//
+//   - Clock, an injectable time source (now / sleep / after) with WallClock
+//     as the real implementation and FakeClock as a manually-advanced test
+//     clock, so deadline and backoff paths are testable without real time.
+//
+// The point of determinism: a chaos campaign that sweeps "fault at op K" for
+// every K in the store's operation sequence visits every crash window the
+// code has, and a failure at (kind, K, seed) replays exactly. DESIGN.md §14
+// documents the failure model this layer exists to prove.
+package fault
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the atomic write path needs: write,
+// fsync, close, and the temp file's name for the final rename.
+type File interface {
+	Write(p []byte) (n int, err error)
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+	// Name returns the file's path, as os.File.Name does.
+	Name() string
+}
+
+// FS is the filesystem surface of the checkpoint and job stores. Every
+// durability-relevant operation flows through it, so an Injector wrapping an
+// FS sees — and can fault — the complete operation sequence.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte, perm os.FileMode) error
+	// CreateTemp creates a new temp file in dir (pattern as os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Stat(path string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making a completed rename durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS: the real filesystem via package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

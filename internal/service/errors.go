@@ -31,6 +31,12 @@ const (
 	ErrCodeInvalidSpec = "invalid_spec"
 	// ErrCodeQueueFull — admission control refused the work (retry later).
 	ErrCodeQueueFull = "queue_full"
+	// ErrCodeOverloaded — load shedding refused the work: every run slot is
+	// busy, so the server answers fast instead of queueing the handler
+	// (retry later, like queue_full).
+	ErrCodeOverloaded = "overloaded"
+	// ErrCodeDeadline — the request exceeded its server-side deadline.
+	ErrCodeDeadline = "deadline_exceeded"
 	// ErrCodeRunFailed — a validated spec failed during simulation.
 	ErrCodeRunFailed = "run_failed"
 	// ErrCodeNotFound — no such resource (job id, route).
@@ -48,6 +54,8 @@ var httpStatus = map[string]int{
 	ErrCodeSpecTooLarge: http.StatusBadRequest,
 	ErrCodeInvalidSpec:  http.StatusBadRequest,
 	ErrCodeQueueFull:    http.StatusTooManyRequests,
+	ErrCodeOverloaded:   http.StatusServiceUnavailable,
+	ErrCodeDeadline:     http.StatusGatewayTimeout,
 	ErrCodeRunFailed:    http.StatusUnprocessableEntity,
 	ErrCodeNotFound:     http.StatusNotFound,
 	ErrCodeJobsDisabled: http.StatusNotImplemented,

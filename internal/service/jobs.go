@@ -3,17 +3,25 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"creditbus/internal/campaign"
+	"creditbus/internal/fault"
 	"creditbus/internal/shard"
 	"creditbus/internal/sim"
 	"creditbus/internal/stats"
 )
+
+// ErrChunkDeadline — a job chunk (submission plus execution of up to
+// checkpointEvery units) exceeded the configured chunk deadline. The job
+// fails typed; its checkpoints persist and a restart resumes it.
+var ErrChunkDeadline = errors.New("service: job chunk deadline exceeded")
 
 // Job states reported by the job API.
 const (
@@ -157,18 +165,54 @@ type jobEngine struct {
 	dir             string
 	pool            *campaign.Pool[*sim.Runner]
 	checkpointEvery int64
-	unitsDone       func(int64) // stats counter hook; may be nil
+	chunkTimeout    time.Duration
+	clock           fault.Clock
+	fs              fault.FS
+	unitsDone       func(int64)               // stats counter hook; may be nil
+	onQuarantine    func(path, reason string) // quarantine observer; may be nil
+	onDeadline      func()                    // chunk-deadline counter hook; may be nil
 
 	mu   sync.Mutex
 	jobs map[string]*job
 	wg   sync.WaitGroup
 }
 
-func newJobEngine(dir string, pool *campaign.Pool[*sim.Runner], checkpointEvery int64, unitsDone func(int64)) *jobEngine {
-	if checkpointEvery <= 0 {
-		checkpointEvery = shard.DefaultCheckpointEvery
+// jobEngineConfig bundles newJobEngine's wiring.
+type jobEngineConfig struct {
+	dir             string
+	pool            *campaign.Pool[*sim.Runner]
+	checkpointEvery int64
+	chunkTimeout    time.Duration
+	clock           fault.Clock
+	fs              fault.FS
+	unitsDone       func(int64)
+	onQuarantine    func(path, reason string)
+	onDeadline      func()
+}
+
+func newJobEngine(cfg jobEngineConfig) *jobEngine {
+	if cfg.checkpointEvery <= 0 {
+		cfg.checkpointEvery = shard.DefaultCheckpointEvery
 	}
-	return &jobEngine{dir: dir, pool: pool, checkpointEvery: checkpointEvery, unitsDone: unitsDone, jobs: map[string]*job{}}
+	if cfg.clock == nil {
+		cfg.clock = fault.WallClock{}
+	}
+	if cfg.fs == nil {
+		cfg.fs = fault.OS{}
+	}
+	return &jobEngine{
+		dir: cfg.dir, pool: cfg.pool,
+		checkpointEvery: cfg.checkpointEvery, chunkTimeout: cfg.chunkTimeout,
+		clock: cfg.clock, fs: cfg.fs,
+		unitsDone: cfg.unitsDone, onQuarantine: cfg.onQuarantine, onDeadline: cfg.onDeadline,
+		jobs: map[string]*job{},
+	}
+}
+
+// openStore opens a job's checkpoint store through the engine's filesystem
+// with the quarantine observer attached.
+func (e *jobEngine) openStore(dir string, m shard.Manifest) (*shard.Store, error) {
+	return shard.OpenWith(dir, m, shard.StoreOptions{FS: e.fs, OnQuarantine: e.onQuarantine})
 }
 
 // jobID derives the job id from the canonical spec bytes: idempotent POST
@@ -204,17 +248,17 @@ func (e *jobEngine) submit(spec shard.CampaignSpec) (JobStatus, bool, error) {
 		return JobStatus{}, false, err
 	}
 	dir := filepath.Join(e.dir, id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := e.fs.MkdirAll(dir, 0o755); err != nil {
 		return JobStatus{}, false, err
 	}
 	specBytes, err := spec.Encode()
 	if err != nil {
 		return JobStatus{}, false, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "spec.json"), specBytes, 0o644); err != nil {
+	if err := e.fs.WriteFile(filepath.Join(dir, "spec.json"), specBytes, 0o644); err != nil {
 		return JobStatus{}, false, err
 	}
-	store, err := shard.Open(filepath.Join(dir, "ckpt"), camp.Manifest())
+	store, err := e.openStore(filepath.Join(dir, "ckpt"), camp.Manifest())
 	if err != nil {
 		return JobStatus{}, false, err
 	}
@@ -286,7 +330,7 @@ func (e *jobEngine) remove(id string) (JobStatus, bool) {
 	st := j.status()
 	go func() {
 		<-j.done
-		_ = os.RemoveAll(j.dir)
+		_ = e.fs.RemoveAll(j.dir)
 	}()
 	return st, true
 }
@@ -327,8 +371,8 @@ func (e *jobEngine) close() {
 // store; incomplete ones get a driver and resume from their last
 // checkpoints.
 func (e *jobEngine) load() error {
-	entries, err := os.ReadDir(e.dir)
-	if os.IsNotExist(err) {
+	entries, err := e.fs.ReadDir(e.dir)
+	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
@@ -340,7 +384,7 @@ func (e *jobEngine) load() error {
 		}
 		id := ent.Name()
 		dir := filepath.Join(e.dir, id)
-		data, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		data, err := e.fs.ReadFile(filepath.Join(dir, "spec.json"))
 		if err != nil {
 			return fmt.Errorf("job %s: %w", id, err)
 		}
@@ -359,7 +403,7 @@ func (e *jobEngine) load() error {
 		if err != nil {
 			return fmt.Errorf("job %s: %w", id, err)
 		}
-		store, err := shard.Open(filepath.Join(dir, "ckpt"), camp.Manifest())
+		store, err := e.openStore(filepath.Join(dir, "ckpt"), camp.Manifest())
 		if err != nil {
 			return fmt.Errorf("job %s: %w", id, err)
 		}
@@ -456,36 +500,66 @@ func (e *jobEngine) runJob(j *job) error {
 // the queue is full, throttling the job to pool speed; the fold order is
 // the unit order regardless of which worker ran what, so the aggregate
 // state is identical to the single-process reference.
+//
+// When the engine has a chunk deadline, submission and execution run in a
+// helper goroutine raced against the clock. On timeout the chunk fails with
+// ErrChunkDeadline and the helper retains sole ownership of the result
+// buffers until its stragglers drain — agg (and the caller) never observe a
+// partially-written chunk.
 func (e *jobEngine) runChunk(j *job, agg *shard.Agg, n int64) error {
 	lo := agg.Lo + agg.N
 	results := make([]sim.Result, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for k := int64(0); k < n; k++ {
-		k := k
-		scen, seed, err := j.camp.Unit(lo + k)
-		if err != nil {
-			return err
+	done := make(chan error, 1)
+	go func() {
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for k := int64(0); k < n; k++ {
+			k := k
+			scen, seed, err := j.camp.Unit(lo + k)
+			if err != nil {
+				wg.Wait()
+				done <- err
+				return
+			}
+			compiled := j.camp.Scenarios[scen]
+			wg.Add(1)
+			err = e.pool.Submit(func(rn *sim.Runner) {
+				defer wg.Done()
+				results[k], errs[k] = compiled.RunSeedRunner(rn, seed)
+			})
+			if err != nil {
+				// Pool closed under us (daemon shutdown): wait out what was
+				// admitted and report the close.
+				wg.Done()
+				wg.Wait()
+				done <- err
+				return
+			}
 		}
-		compiled := j.camp.Scenarios[scen]
-		wg.Add(1)
-		err = e.pool.Submit(func(rn *sim.Runner) {
-			defer wg.Done()
-			results[k], errs[k] = compiled.RunSeedRunner(rn, seed)
-		})
-		if err != nil {
-			// Pool closed under us (daemon shutdown): wait out what was
-			// admitted and report the close.
-			wg.Done()
-			wg.Wait()
-			return err
+		wg.Wait()
+		for k := int64(0); k < n; k++ {
+			if errs[k] != nil {
+				done <- fmt.Errorf("unit %d: %w", lo+k, errs[k])
+				return
+			}
 		}
+		done <- nil
+	}()
+
+	var deadline <-chan time.Time
+	if e.chunkTimeout > 0 {
+		deadline = e.clock.After(e.chunkTimeout)
 	}
-	wg.Wait()
-	for k := int64(0); k < n; k++ {
-		if errs[k] != nil {
-			return fmt.Errorf("unit %d: %w", lo+k, errs[k])
+	select {
+	case err := <-done:
+		if err != nil {
+			return err
 		}
+	case <-deadline:
+		if e.onDeadline != nil {
+			e.onDeadline()
+		}
+		return fmt.Errorf("chunk [%d,+%d) after %v: %w", lo, n, e.chunkTimeout, ErrChunkDeadline)
 	}
 	for k := int64(0); k < n; k++ {
 		agg.Add(results[k])

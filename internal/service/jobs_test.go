@@ -374,6 +374,7 @@ func TestStatsFields(t *testing.T) {
 		"workers", "queue_depth", "queue_capacity",
 		"cache_entries", "cache_capacity", "in_flight",
 		"requests", "bad_requests", "rejected",
+		"load_shed", "deadline_exceeded", "quarantines",
 		"hits", "misses", "coalesced", "executions",
 		"jobs_total", "jobs_running", "job_units_done",
 	}

@@ -39,8 +39,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"creditbus/internal/campaign"
+	"creditbus/internal/fault"
 	"creditbus/internal/scenario"
 	"creditbus/internal/shard"
 	"creditbus/internal/sim"
@@ -74,6 +76,28 @@ type Options struct {
 	// shard.DefaultCheckpointEvery). Exposed for tests that need frequent
 	// checkpoints on small campaigns.
 	JobCheckpointEvery int64
+	// RunTimeout is the server-side deadline on a /v1/run request: a request
+	// still waiting on executions past it fails with deadline_exceeded (504)
+	// instead of holding its connection open. ≤ 0 disables the deadline.
+	RunTimeout time.Duration
+	// JobChunkTimeout bounds one job chunk's execution (submission plus
+	// simulation of up to JobCheckpointEvery units). A chunk past it fails
+	// the job with a typed error; its checkpoints persist, so the job is
+	// resumable. ≤ 0 disables the deadline.
+	JobChunkTimeout time.Duration
+	// MaxConcurrentRuns bounds the /v1/run handlers admitted into execution
+	// at once — the load-shedding gate that keeps /v1/healthz, /v1/stats and
+	// GET /v1/jobs responsive when the pool is saturated. Handlers beyond it
+	// are refused immediately with overloaded (503). ≤ 0 → workers×4 + queue
+	// capacity (every execution slot plus every queue slot can be owned by a
+	// handler, with headroom for cache hits).
+	MaxConcurrentRuns int
+	// Clock is the time source for the deadlines above. Nil → the wall
+	// clock; tests inject a fault.FakeClock.
+	Clock fault.Clock
+	// FS is the filesystem the job store runs on. Nil → the real
+	// filesystem; tests inject a fault.Injector.
+	FS fault.FS
 }
 
 // flight is one in-progress execution other submitters of the same result
@@ -88,22 +112,28 @@ type flight struct {
 // content-addressed result cache. Create one with New, serve its Handler,
 // and Close it to drain the pool.
 type Server struct {
-	pool      *campaign.Pool[*sim.Runner]
-	queueCap  int
-	cacheCap  int
-	mu        sync.Mutex // guards cache and flights
-	cache     *resultCache
-	flights   map[string]*flight
-	jobs      *jobEngine // nil when Options.JobsDir is empty
-	jobUnits  atomic.Int64
-	execGate  func() // test hook: runs in the worker before each execution
-	requests  atomic.Int64
-	bad       atomic.Int64
-	rejected  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	execs     atomic.Int64
+	pool       *campaign.Pool[*sim.Runner]
+	queueCap   int
+	cacheCap   int
+	mu         sync.Mutex // guards cache and flights
+	cache      *resultCache
+	flights    map[string]*flight
+	jobs       *jobEngine // nil when Options.JobsDir is empty
+	jobUnits   atomic.Int64
+	execGate   func() // test hook: runs in the worker before each execution
+	clock      fault.Clock
+	runTimeout time.Duration
+	runSlots   chan struct{} // load-shedding gate for /v1/run handlers
+	requests   atomic.Int64
+	bad        atomic.Int64
+	rejected   atomic.Int64
+	shed       atomic.Int64
+	deadlined  atomic.Int64
+	quars      atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	coalesced  atomic.Int64
+	execs      atomic.Int64
 }
 
 // New builds a Server and starts its worker pool.
@@ -122,16 +152,37 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	if opts.Clock == nil {
+		opts.Clock = fault.WallClock{}
+	}
+	if opts.FS == nil {
+		opts.FS = fault.OS{}
+	}
+	if opts.MaxConcurrentRuns <= 0 {
+		opts.MaxConcurrentRuns = pool.Workers()*4 + opts.Queue
+	}
 	s := &Server{
-		pool:     pool,
-		queueCap: opts.Queue,
-		cacheCap: opts.CacheSize,
-		cache:    newResultCache(opts.CacheSize),
-		flights:  map[string]*flight{},
+		pool:       pool,
+		queueCap:   opts.Queue,
+		cacheCap:   opts.CacheSize,
+		cache:      newResultCache(opts.CacheSize),
+		flights:    map[string]*flight{},
+		clock:      opts.Clock,
+		runTimeout: opts.RunTimeout,
+		runSlots:   make(chan struct{}, opts.MaxConcurrentRuns),
 	}
 	if opts.JobsDir != "" {
-		s.jobs = newJobEngine(opts.JobsDir, pool, opts.JobCheckpointEvery,
-			func(n int64) { s.jobUnits.Add(n) })
+		s.jobs = newJobEngine(jobEngineConfig{
+			dir:             opts.JobsDir,
+			pool:            pool,
+			checkpointEvery: opts.JobCheckpointEvery,
+			chunkTimeout:    opts.JobChunkTimeout,
+			clock:           opts.Clock,
+			fs:              opts.FS,
+			unitsDone:       func(n int64) { s.jobUnits.Add(n) },
+			onQuarantine:    func(string, string) { s.quars.Add(1) },
+			onDeadline:      func() { s.deadlined.Add(1) },
+		})
 		// Resume jobs a previous daemon left behind before serving traffic.
 		if err := s.jobs.load(); err != nil {
 			s.jobs.close()
@@ -213,10 +264,19 @@ type Stats struct {
 	Requests      int64 `json:"requests"`
 	BadRequests   int64 `json:"bad_requests"`
 	Rejected      int64 `json:"rejected"`
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Coalesced     int64 `json:"coalesced"`
-	Executions    int64 `json:"executions"`
+	// LoadShed counts /v1/run requests refused by the concurrency gate
+	// (overloaded, 503) before reaching admission control.
+	LoadShed int64 `json:"load_shed"`
+	// DeadlineExceeded counts requests and job chunks that hit a
+	// server-side deadline.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// Quarantines counts checkpoint-store files quarantined as corrupt
+	// since daemon start.
+	Quarantines int64 `json:"quarantines"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Executions  int64 `json:"executions"`
 	// Job API counters: registered jobs, jobs currently running, and the
 	// total campaign units completed by job drivers since daemon start.
 	JobsTotal    int   `json:"jobs_total"`
@@ -235,22 +295,25 @@ func (s *Server) Snapshot() Stats {
 		jobsTotal, jobsRunning = s.jobs.counts()
 	}
 	return Stats{
-		Workers:       s.pool.Workers(),
-		QueueDepth:    s.pool.QueueDepth(),
-		QueueCapacity: s.queueCap,
-		CacheEntries:  entries,
-		CacheCapacity: s.cacheCap,
-		InFlight:      inFlight,
-		Requests:      s.requests.Load(),
-		BadRequests:   s.bad.Load(),
-		Rejected:      s.rejected.Load(),
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Executions:    s.execs.Load(),
-		JobsTotal:     jobsTotal,
-		JobsRunning:   jobsRunning,
-		JobUnitsDone:  s.jobUnits.Load(),
+		Workers:          s.pool.Workers(),
+		QueueDepth:       s.pool.QueueDepth(),
+		QueueCapacity:    s.queueCap,
+		CacheEntries:     entries,
+		CacheCapacity:    s.cacheCap,
+		InFlight:         inFlight,
+		Requests:         s.requests.Load(),
+		BadRequests:      s.bad.Load(),
+		Rejected:         s.rejected.Load(),
+		LoadShed:         s.shed.Load(),
+		DeadlineExceeded: s.deadlined.Load(),
+		Quarantines:      s.quars.Load(),
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Coalesced:        s.coalesced.Load(),
+		Executions:       s.execs.Load(),
+		JobsTotal:        jobsTotal,
+		JobsRunning:      jobsRunning,
+		JobUnitsDone:     s.jobUnits.Load(),
 	}
 }
 
@@ -347,6 +410,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	// Load shedding: bound the handlers in execution so a saturated pool
+	// degrades into fast 503s while the health and observability routes
+	// (which bypass this gate) stay responsive.
+	select {
+	case s.runSlots <- struct{}{}:
+		defer func() { <-s.runSlots }()
+	default:
+		s.shed.Add(1)
+		writeError(w, ErrCodeOverloaded, "run concurrency limit reached, retry later", "")
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		s.bad.Add(1)
@@ -400,12 +474,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		runs = append(runs, p)
 	}
+	// One deadline spans the whole request — the time budget covers every
+	// seed of the schedule, not each seed separately.
+	var deadline <-chan time.Time
+	if s.runTimeout > 0 {
+		deadline = s.clock.After(s.runTimeout)
+	}
 	resp := RunResponse{Scenario: spec.Name, Key: key, Runs: make([]RunResult, 0, len(runs))}
 	for i := range runs {
 		p := &runs[i]
 		if p.f != nil {
 			select {
 			case <-p.f.done:
+			case <-deadline:
+				// Executions already admitted keep running and land in the
+				// cache; only this handler gives up.
+				s.deadlined.Add(1)
+				writeError(w, ErrCodeDeadline, "request deadline exceeded", s.runTimeout.String())
+				return
 			case <-r.Context().Done():
 				return // client gone; nothing useful to write
 			}

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"creditbus/internal/fault"
+)
+
+// chaosRun drives a full sharded campaign — open store, run every shard,
+// merge — through the given filesystem, returning the canonical report
+// bytes. It is the workload the chaos sweeps fault at every operation of.
+func chaosRun(c *Campaign, dir string, fsys fault.FS, onQuarantine func(path, reason string)) ([]byte, error) {
+	st, err := OpenWith(dir, c.Manifest(), StoreOptions{FS: fsys, OnQuarantine: onQuarantine})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.Plan.Shards; i++ {
+		r := &Runner{Campaign: c, Store: st, Workers: 2, CheckpointEvery: 16}
+		if _, _, err := r.RunShard(i); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := MergeStore(c, st)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Encode()
+}
+
+// typedFault reports whether an error chain ends in one of the injected
+// fault sentinels or the store's typed corruption errors — the "fails with
+// a typed error" half of the chaos contract.
+func typedFault(err error) bool {
+	return errors.Is(err, fault.ErrCrashed) || errors.Is(err, fault.ErrNoSpace) ||
+		errors.Is(err, fault.ErrIO) || errors.Is(err, ErrCheckpointCorrupt) ||
+		errors.Is(err, ErrCheckpointVersion)
+}
+
+// TestChaosDifferentialSweep is the tentpole proof: for every filesystem
+// operation K in a multi-shard checkpointed campaign and every fault kind
+// (crash-at-K, torn write, ENOSPC, EIO), the faulted run fails with a typed
+// error, and a clean re-run over the surviving directory resumes to a
+// result byte-identical to the fault-free single-process reference — the
+// PR 8 byte-identity contract, now under dirty failures.
+func TestChaosDifferentialSweep(t *testing.T) {
+	c := testCampaign(t, 64, 2, 8)
+	want := referenceBytes(t, c)
+
+	// Census pass: the operation sequence of a fault-free run.
+	census := fault.NewInjector(fault.OS{}, fault.Plan{})
+	got, err := chaosRun(c, filepath.Join(t.TempDir(), "ckpt"), census, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("census run diverges from reference")
+	}
+	total := census.Ops()
+	if total < 20 {
+		t.Fatalf("census counted only %d ops", total)
+	}
+	t.Logf("chaos sweep: %d fault points × 4 kinds", total)
+
+	for _, kind := range []fault.Kind{fault.KindCrash, fault.KindTorn, fault.KindENOSPC, fault.KindEIO} {
+		for k := int64(1); k <= total; k++ {
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			in := fault.NewInjector(fault.OS{}, fault.Plan{Op: k, Kind: kind, Seed: uint64(k)*0x9e3779b97f4a7c15 + uint64(kind)})
+			_, err := chaosRun(c, dir, in, nil)
+			if err == nil {
+				t.Fatalf("%v at op %d: fault did not surface", kind, k)
+			}
+			if !typedFault(err) {
+				t.Fatalf("%v at op %d: untyped error: %v", kind, k, err)
+			}
+			if !in.Fired() {
+				t.Fatalf("%v at op %d: never fired", kind, k)
+			}
+			// Recovery: the restarted process sees the surviving directory
+			// through a clean filesystem and must resume to byte-identity.
+			got, err := chaosRun(c, dir, fault.OS{}, nil)
+			if err != nil {
+				t.Fatalf("%v at op %d: recovery failed: %v", kind, k, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v at op %d: recovered result diverges from reference", kind, k)
+			}
+		}
+	}
+}
+
+// TestChaosBitFlipSweep flips one seed-chosen bit in every file read of the
+// reopen-and-merge path over a completed campaign. Every flip must be
+// caught by the integrity envelope — the run either still produces the
+// reference bytes (manifest rebuilt, or backup merged complete) or fails
+// typed with the suspect file quarantined — and a clean re-run always
+// converges back to byte-identity. Silent acceptance of flipped state is
+// the one outcome that must never happen.
+func TestChaosBitFlipSweep(t *testing.T) {
+	c := testCampaign(t, 64, 2, 8)
+	want := referenceBytes(t, c)
+
+	complete := func() string {
+		dir := filepath.Join(t.TempDir(), "ckpt")
+		got, err := chaosRun(c, dir, fault.OS{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("clean run diverges")
+		}
+		return dir
+	}
+
+	// Census the reads of a reopen+merge over a completed store.
+	census := fault.NewInjector(fault.OS{}, fault.Plan{})
+	if _, err := chaosRun(c, complete(), census, nil); err != nil {
+		t.Fatal(err)
+	}
+	reads := census.Reads()
+	if reads < 3 {
+		t.Fatalf("census counted only %d reads", reads)
+	}
+
+	// Several seeds per read site, so different byte/bit positions are hit.
+	for _, seed := range []uint64{1<<32 | 0, 3<<32 | 7, 6<<32 | 201, 7<<32 | 90} {
+		for k := int64(1); k <= reads; k++ {
+			dir := complete()
+			var quars []string
+			in := fault.NewInjector(fault.OS{}, fault.Plan{Op: k, Kind: fault.KindBitFlip, Seed: seed})
+			got, err := chaosRun(c, dir, in, func(p, reason string) { quars = append(quars, p+": "+reason) })
+			if !in.Fired() {
+				t.Fatalf("bitflip at read %d: never fired", k)
+			}
+			switch {
+			case err == nil:
+				// Tolerated: the flip was caught and routed around (e.g.
+				// manifest quarantined and rebuilt). The result must still
+				// be exact and the detection must have left a trace.
+				if !bytes.Equal(got, want) {
+					t.Fatalf("bitflip at read %d seed %#x: silent corruption of result", k, seed)
+				}
+				if len(quars) == 0 {
+					t.Fatalf("bitflip at read %d seed %#x: flip absorbed without quarantine", k, seed)
+				}
+			case typedFault(err) || strings.Contains(err.Error(), "incomplete"):
+				// Detected: quarantine-and-fallback left the campaign
+				// incomplete or surfaced a typed corruption error.
+				if len(quars) == 0 {
+					t.Fatalf("bitflip at read %d seed %#x: error %v without quarantine", k, seed, err)
+				}
+			default:
+				t.Fatalf("bitflip at read %d seed %#x: untyped error: %v", k, seed, err)
+			}
+			// Recovery over a clean filesystem re-executes at most the
+			// quarantined tail and must converge to byte-identity.
+			got, err = chaosRun(c, dir, fault.OS{}, nil)
+			if err != nil {
+				t.Fatalf("bitflip at read %d seed %#x: recovery failed: %v", k, seed, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("bitflip at read %d seed %#x: recovered result diverges", k, seed)
+			}
+		}
+	}
+}
